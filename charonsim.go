@@ -1,0 +1,411 @@
+// Package charonsim is a self-contained reproduction of "Charon:
+// Specialized Near-Memory Processing Architecture for Clearing Dead
+// Objects in Memory" (Jang et al., MICRO-52, 2019): a near-memory garbage
+// collection accelerator on the logic layer of 3D-stacked DRAM.
+//
+// The library contains, built from scratch in Go:
+//
+//   - a generational JVM-like heap with a ParallelScavenge-style collector
+//     (minor scavenge + full mark-compact), card table and mark bitmaps;
+//   - a discrete-event memory-system simulator: DDR4 channels, an HMC
+//     (4 cubes x 32 vaults, serial links, star topology), host OoO cores
+//     with caches/MSHRs/prefetcher;
+//   - the Charon accelerator: Copy/Search, Bitmap Count and Scan&Push
+//     processing units, MAI, accelerator TLB and bitmap cache, with the
+//     offload packet protocol of the paper;
+//   - synthetic Spark/GraphChi workloads reproducing the paper's object
+//     demographics;
+//   - an experiment harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	report, err := charonsim.Run("fig12", charonsim.Config{})
+//	fmt.Println(report.Text)
+//
+// or simulate one workload on one platform:
+//
+//	st, err := charonsim.SimulateGC("ALS", 1.5, charonsim.PlatformCharon, 8)
+//	fmt.Printf("GC pause total: %v, speedup material: %v\n", st.TotalPause, st.Bandwidth)
+package charonsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"charonsim/internal/energy"
+	"charonsim/internal/exec"
+	"charonsim/internal/experiments"
+	"charonsim/internal/gc"
+	"charonsim/internal/sim"
+	"charonsim/internal/workload"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// Threads is the GC thread count (default 8, the paper's host).
+	Threads int
+	// HeapFactor is heap overprovisioning relative to each workload's
+	// minimum heap (default 1.5; the paper uses 1.25-2x).
+	HeapFactor float64
+	// Workloads restricts the benchmark set (default: all six of Table 3).
+	Workloads []string
+}
+
+func (c Config) toInternal() experiments.Config {
+	return experiments.Config{Threads: c.Threads, Factor: c.HeapFactor, Workloads: c.Workloads}
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID    string
+	Title string
+	Text  string
+}
+
+// Platform selects a hardware configuration for SimulateGC.
+type Platform string
+
+// The evaluated platforms (Figure 12, 15, 16).
+const (
+	PlatformDDR4              Platform = "ddr4"
+	PlatformHMC               Platform = "hmc"
+	PlatformCharon            Platform = "charon"
+	PlatformCharonDistributed Platform = "charon-distributed"
+	PlatformCharonCPUSide     Platform = "charon-cpuside"
+	PlatformIdeal             Platform = "ideal"
+)
+
+func (p Platform) kind() (exec.Kind, error) {
+	switch p {
+	case PlatformDDR4:
+		return exec.KindDDR4, nil
+	case PlatformHMC:
+		return exec.KindHMC, nil
+	case PlatformCharon:
+		return exec.KindCharon, nil
+	case PlatformCharonDistributed:
+		return exec.KindCharonDistributed, nil
+	case PlatformCharonCPUSide:
+		return exec.KindCharonCPUSide, nil
+	case PlatformIdeal:
+		return exec.KindIdeal, nil
+	}
+	return 0, fmt.Errorf("charonsim: unknown platform %q", string(p))
+}
+
+// Platforms lists the selectable platforms.
+func Platforms() []Platform {
+	return []Platform{PlatformDDR4, PlatformHMC, PlatformCharon,
+		PlatformCharonDistributed, PlatformCharonCPUSide, PlatformIdeal}
+}
+
+// Workloads lists the benchmark short codes in the paper's order.
+func Workloads() []string { return workload.Names() }
+
+// WorkloadInfo describes one benchmark.
+type WorkloadInfo struct {
+	Name, Long, Framework, Dataset, PaperHeap string
+	MinHeapBytes                              uint64
+}
+
+// DescribeWorkload returns metadata for a benchmark.
+func DescribeWorkload(name string) (WorkloadInfo, error) {
+	w, err := workload.New(name)
+	if err != nil {
+		return WorkloadInfo{}, err
+	}
+	sp := w.Spec()
+	return WorkloadInfo{Name: sp.Name, Long: sp.Long, Framework: sp.Framework,
+		Dataset: sp.Dataset, PaperHeap: sp.PaperHeap, MinHeapBytes: sp.MinHeapBytes}, nil
+}
+
+// experimentEntry binds an experiment id to its runner.
+type experimentEntry struct {
+	title string
+	run   func(s *experiments.Session) (string, error)
+}
+
+var experimentTable = map[string]experimentEntry{
+	"fig2": {"GC overhead vs heap size", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig2(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"fig4a": {"MinorGC runtime breakdown", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig4(s, gc.Minor)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"fig4b": {"MajorGC runtime breakdown", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig4(s, gc.Major)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"fig12": {"Overall GC speedup", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig12(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"fig13": {"Bandwidth and locality", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig13(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"fig14": {"Per-primitive speedups", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig14(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"fig15": {"GC throughput scalability", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig15(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"fig16": {"Memory-side vs CPU-side placement", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig16(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"fig17": {"GC energy", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Fig17(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"table1": {"Primitive applicability", func(*experiments.Session) (string, error) {
+		return experiments.RenderTable1(), nil
+	}},
+	"table2": {"Architectural parameters", func(*experiments.Session) (string, error) {
+		return experiments.RenderTable2(), nil
+	}},
+	"table3": {"Workloads", func(*experiments.Session) (string, error) {
+		return experiments.RenderTable3(), nil
+	}},
+	"table4": {"Charon area", func(*experiments.Session) (string, error) {
+		return experiments.RenderTable4(), nil
+	}},
+	"ablations": {"Design-space ablations (MAI, grain, bitmap cache, units, topology)", func(s *experiments.Session) (string, error) {
+		rs, err := experiments.Ablations(s)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderAblations(rs), nil
+	}},
+	"collectors": {"Table 1 applicability study (ParallelScavenge vs G1 vs CMS)", func(s *experiments.Session) (string, error) {
+		r, err := experiments.CollectorStudy(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"thermal": {"Power and thermal analysis", func(s *experiments.Session) (string, error) {
+		r, err := experiments.Thermal(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+}
+
+// Experiments lists the available experiment ids in a stable order.
+func Experiments() []string {
+	ids := make([]string, 0, len(experimentTable))
+	for id := range experimentTable {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes one experiment by id ("fig2", "fig4a", "fig4b", "fig12" ...
+// "fig17", "table1" ... "table4", "thermal").
+func Run(id string, cfg Config) (*Report, error) {
+	e, ok := experimentTable[id]
+	if !ok {
+		return nil, fmt.Errorf("charonsim: unknown experiment %q (have %v)", id, Experiments())
+	}
+	s := experiments.NewSession(cfg.toInternal())
+	text, err := e.run(s)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{ID: id, Title: e.title, Text: text}, nil
+}
+
+// RunAll executes every experiment, sharing recorded workload runs.
+func RunAll(cfg Config) ([]*Report, error) {
+	s := experiments.NewSession(cfg.toInternal())
+	var out []*Report
+	for _, id := range Experiments() {
+		e := experimentTable[id]
+		text, err := e.run(s)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, &Report{ID: id, Title: e.title, Text: text})
+	}
+	return out, nil
+}
+
+// GCStats summarizes one workload's garbage collection on one platform.
+type GCStats struct {
+	Workload   string
+	Platform   Platform
+	HeapFactor float64
+	Threads    int
+
+	MinorGCs int
+	MajorGCs int
+
+	// TotalPause is the summed simulated GC pause time.
+	TotalPause time.Duration
+	// MutatorTime is the modelled useful execution time.
+	MutatorTime time.Duration
+	// PrimSeconds attributes pause time to each primitive by name.
+	PrimSeconds map[string]float64
+	// Bandwidth is the average GC-time memory bandwidth in GB/s.
+	Bandwidth float64
+	// LocalRatio is the near-memory local-access fraction (Charon only).
+	LocalRatio float64
+	// EnergyJoules is the modelled GC energy.
+	EnergyJoules float64
+	// LiveBytes / ReclaimedBytes sum over all GCs.
+	LiveBytes      uint64
+	ReclaimedBytes uint64
+}
+
+// Overhead returns GC time normalized to mutator time (Figure 2's metric).
+func (g *GCStats) Overhead() float64 {
+	if g.MutatorTime == 0 {
+		return 0
+	}
+	return float64(g.TotalPause) / float64(g.MutatorTime)
+}
+
+// SimulateGC runs one workload at the given heap factor, replays its GC
+// log on the chosen platform, and returns aggregate statistics.
+func SimulateGC(name string, factor float64, p Platform, threads int) (*GCStats, error) {
+	kind, err := p.kind()
+	if err != nil {
+		return nil, err
+	}
+	if factor == 0 {
+		factor = 1.5
+	}
+	if threads == 0 {
+		threads = 8
+	}
+	s := experiments.NewSession(experiments.Config{Threads: threads, Factor: factor})
+	run, err := s.Record(name, factor)
+	if err != nil {
+		return nil, err
+	}
+	results := s.Replay(run, kind, threads)
+	tot := experiments.Sum(kind, results, threads)
+
+	st := &GCStats{
+		Workload: name, Platform: p, HeapFactor: factor, Threads: threads,
+		TotalPause:   simToDuration(tot.Duration),
+		MutatorTime:  simToDuration(run.MutTime),
+		PrimSeconds:  map[string]float64{},
+		Bandwidth:    tot.BandwidthGBs(),
+		LocalRatio:   tot.Local,
+		EnergyJoules: float64(tot.Energy.Total()),
+	}
+	for pr := 0; pr < int(gc.NumPrims); pr++ {
+		st.PrimSeconds[gc.Prim(pr).String()] = tot.PrimTime[pr].Seconds()
+	}
+	for _, ev := range run.Col.Log {
+		if ev.Kind == gc.Minor {
+			st.MinorGCs++
+		} else {
+			st.MajorGCs++
+		}
+		st.LiveBytes += ev.LiveBytes
+		st.ReclaimedBytes += ev.ReclaimedBytes
+	}
+	return st, nil
+}
+
+func simToDuration(t sim.Time) time.Duration {
+	return time.Duration(t / sim.Nanosecond * sim.Time(time.Nanosecond))
+}
+
+// GCEvent is one collection's outcome on a platform.
+type GCEvent struct {
+	Seq            int
+	Kind           string // "minor", "major" or "marksweep"
+	Reason         string
+	Pause          time.Duration
+	LiveBytes      uint64
+	ReclaimedBytes uint64
+	BandwidthGBs   float64
+}
+
+// SimulateGCEvents is SimulateGC with per-collection detail: one entry
+// per GC event, in order, with its simulated pause on the chosen platform.
+func SimulateGCEvents(name string, factor float64, p Platform, threads int) ([]GCEvent, error) {
+	kind, err := p.kind()
+	if err != nil {
+		return nil, err
+	}
+	if factor == 0 {
+		factor = 1.5
+	}
+	if threads == 0 {
+		threads = 8
+	}
+	s := experiments.NewSession(experiments.Config{Threads: threads, Factor: factor})
+	run, err := s.Record(name, factor)
+	if err != nil {
+		return nil, err
+	}
+	results := s.Replay(run, kind, threads)
+	out := make([]GCEvent, 0, len(results))
+	for i, r := range results {
+		ev := run.Col.Log[i]
+		out = append(out, GCEvent{
+			Seq: ev.Seq, Kind: ev.Kind.String(), Reason: ev.Reason,
+			Pause:          simToDuration(r.Duration),
+			LiveBytes:      ev.LiveBytes,
+			ReclaimedBytes: ev.ReclaimedBytes,
+			BandwidthGBs:   r.Traffic.BandwidthGBs(r.Duration),
+		})
+	}
+	return out, nil
+}
+
+// AreaSummary reports the Table 4 area model.
+type AreaSummary struct {
+	TotalMM2        float64
+	PerCubeMM2      float64
+	LogicLayerShare float64
+}
+
+// Area returns the accelerator area model (Table 4 totals).
+func Area() AreaSummary {
+	return AreaSummary{
+		TotalMM2:        energy.TotalArea(),
+		PerCubeMM2:      energy.AreaPerCube(),
+		LogicLayerShare: energy.AreaFraction(),
+	}
+}

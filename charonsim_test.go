@@ -1,0 +1,179 @@
+package charonsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsListed(t *testing.T) {
+	ids := Experiments()
+	want := []string{"ablations", "collectors", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig2", "fig4a", "fig4b", "table1", "table2", "table3", "table4", "thermal"}
+	if len(ids) != len(want) {
+		t.Fatalf("experiments = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids[%d] = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestRunTable(t *testing.T) {
+	for _, id := range []string{"table1", "table2", "table3", "table4"} {
+		rep, err := Run(id, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if rep.ID != id || rep.Title == "" || rep.Text == "" {
+			t.Fatalf("%s: empty report %+v", id, rep)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", Config{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunFigureQuick(t *testing.T) {
+	rep, err := Run("fig12", Config{Workloads: []string{"BS"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "BS") || !strings.Contains(rep.Text, "Charon") {
+		t.Fatalf("report missing content:\n%s", rep.Text)
+	}
+}
+
+func TestWorkloadsAndInfo(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 6 || ws[0] != "BS" || ws[5] != "ALS" {
+		t.Fatalf("workloads %v", ws)
+	}
+	info, err := DescribeWorkload("CC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Framework != "GraphChi" || info.PaperHeap != "4GB" || info.MinHeapBytes == 0 {
+		t.Fatalf("info %+v", info)
+	}
+	if _, err := DescribeWorkload("XX"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestSimulateGC(t *testing.T) {
+	base, err := SimulateGC("BS", 1.5, PlatformDDR4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MinorGCs == 0 || base.MajorGCs == 0 {
+		t.Fatalf("GC counts %d/%d", base.MinorGCs, base.MajorGCs)
+	}
+	if base.TotalPause == 0 || base.MutatorTime == 0 || base.Overhead() <= 0 {
+		t.Fatalf("times %+v", base)
+	}
+	if base.ReclaimedBytes == 0 || base.EnergyJoules <= 0 {
+		t.Fatalf("stats %+v", base)
+	}
+	if base.PrimSeconds["Copy"] <= 0 {
+		t.Fatal("no copy attribution")
+	}
+
+	ch, err := SimulateGC("BS", 1.5, PlatformCharon, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.TotalPause >= base.TotalPause {
+		t.Fatalf("Charon pause %v not below DDR4 %v", ch.TotalPause, base.TotalPause)
+	}
+	if ch.LocalRatio <= 0 {
+		t.Fatal("no locality on Charon")
+	}
+	if ch.Bandwidth <= base.Bandwidth {
+		t.Fatal("Charon bandwidth should exceed DDR4's")
+	}
+}
+
+func TestSimulateGCDefaults(t *testing.T) {
+	st, err := SimulateGC("ALS", 0, PlatformIdeal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HeapFactor != 1.5 || st.Threads != 8 {
+		t.Fatalf("defaults not applied: %+v", st)
+	}
+}
+
+func TestSimulateGCBadInputs(t *testing.T) {
+	if _, err := SimulateGC("BS", 1.5, Platform("nope"), 8); err == nil {
+		t.Fatal("bad platform accepted")
+	}
+	if _, err := SimulateGC("nope", 1.5, PlatformDDR4, 8); err == nil {
+		t.Fatal("bad workload accepted")
+	}
+}
+
+func TestPlatformsComplete(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 6 {
+		t.Fatalf("platforms %v", ps)
+	}
+	for _, p := range ps {
+		if _, err := p.kind(); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+}
+
+func TestArea(t *testing.T) {
+	a := Area()
+	if a.TotalMM2 < 1.9 || a.TotalMM2 > 2.0 {
+		t.Fatalf("area %+v", a)
+	}
+	if a.LogicLayerShare < 0.004 || a.LogicLayerShare > 0.006 {
+		t.Fatalf("share %v", a.LogicLayerShare)
+	}
+}
+
+func TestSimulateGCEvents(t *testing.T) {
+	events, err := SimulateGCEvents("CC", 1.5, PlatformCharon, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("only %d events", len(events))
+	}
+	var total int64
+	sawMajor := false
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Pause <= 0 {
+			t.Fatalf("event %d has no pause", i)
+		}
+		if ev.Kind == "major" {
+			sawMajor = true
+		}
+		total += int64(ev.Pause)
+	}
+	if !sawMajor {
+		t.Fatal("no major GC in the log")
+	}
+	// Sum of per-event pauses equals the aggregate from SimulateGC.
+	agg, err := SimulateGC("CC", 1.5, PlatformCharon, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := total - int64(agg.TotalPause)
+	if diff < 0 {
+		diff = -diff
+	}
+	// Per-event times truncate to nanoseconds individually.
+	if diff > int64(len(events)) {
+		t.Fatalf("per-event sum %d != aggregate %d", total, int64(agg.TotalPause))
+	}
+}

@@ -1,0 +1,71 @@
+// Command charonsim regenerates the paper's evaluation: it runs any of
+// the table/figure experiments and prints the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	charonsim -exp fig12                # one experiment, all six workloads
+//	charonsim -exp fig14 -workloads BS,ALS
+//	charonsim -exp all -threads 8 -factor 1.5
+//	charonsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"charonsim"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		threads   = flag.Int("threads", 8, "GC thread count")
+		factor    = flag.Float64("factor", 1.5, "heap overprovisioning factor (1.0 = minimum heap)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all six)")
+		list      = flag.Bool("list", false, "list experiments and workloads, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, id := range charonsim.Experiments() {
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("workloads:")
+		for _, w := range charonsim.Workloads() {
+			info, _ := charonsim.DescribeWorkload(w)
+			fmt.Printf("  %-4s %-28s %-9s paper heap %s\n", w, info.Long, info.Framework, info.PaperHeap)
+		}
+		return
+	}
+
+	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+
+	start := time.Now()
+	var reports []*charonsim.Report
+	var err error
+	if *exp == "all" {
+		reports, err = charonsim.RunAll(cfg)
+	} else {
+		var r *charonsim.Report
+		r, err = charonsim.Run(*exp, cfg)
+		if r != nil {
+			reports = append(reports, r)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "charonsim: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range reports {
+		fmt.Printf("== %s: %s ==\n%s\n", r.ID, r.Title, r.Text)
+	}
+	fmt.Printf("(%d experiment(s) in %.1fs)\n", len(reports), time.Since(start).Seconds())
+}

@@ -1,0 +1,103 @@
+// Command gcstats runs one workload configuration and prints a
+// -verbose:gc style log: per-collection pause times on the chosen
+// platform, the per-primitive breakdown, bandwidth, locality and energy.
+//
+// Usage:
+//
+//	gcstats -workload ALS -platform charon -factor 1.25 -threads 8
+//	gcstats -workload CC -platform ddr4 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"charonsim"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "BS", "workload: BS, KM, LR, CC, PR, ALS")
+		platform = flag.String("platform", "charon", "platform: ddr4, hmc, charon, charon-distributed, charon-cpuside, ideal")
+		factor   = flag.Float64("factor", 1.5, "heap overprovisioning factor")
+		threads  = flag.Int("threads", 8, "GC threads")
+		compare  = flag.Bool("compare", false, "also run every other platform and print speedups")
+		perGC    = flag.Bool("percollection", false, "print one line per collection")
+	)
+	flag.Parse()
+
+	st, err := charonsim.SimulateGC(*name, *factor, charonsim.Platform(*platform), *threads)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
+		os.Exit(1)
+	}
+
+	info, _ := charonsim.DescribeWorkload(*name)
+	fmt.Printf("workload    %s (%s, %s; dataset: %s)\n", info.Name, info.Long, info.Framework, info.Dataset)
+	fmt.Printf("heap        %.2fx minimum (%d MB)\n", st.HeapFactor, uint64(float64(info.MinHeapBytes)*st.HeapFactor)>>20)
+	fmt.Printf("platform    %s, %d GC threads\n", st.Platform, st.Threads)
+	fmt.Printf("collections %d minor + %d major\n", st.MinorGCs, st.MajorGCs)
+	fmt.Printf("gc pause    %v total (mutator %v, overhead %.1f%%)\n",
+		st.TotalPause, st.MutatorTime, st.Overhead()*100)
+	fmt.Printf("reclaimed   %.1f MB (live at collections: %.1f MB)\n",
+		float64(st.ReclaimedBytes)/1e6, float64(st.LiveBytes)/1e6)
+	fmt.Printf("bandwidth   %.1f GB/s during GC", st.Bandwidth)
+	if st.LocalRatio > 0 {
+		fmt.Printf(" (%.0f%% serviced by the local cube)", st.LocalRatio*100)
+	}
+	fmt.Println()
+	fmt.Printf("energy      %.4f J\n", st.EnergyJoules)
+
+	fmt.Println("per-primitive time:")
+	type kv struct {
+		name string
+		sec  float64
+	}
+	var prims []kv
+	var total float64
+	for n, s := range st.PrimSeconds {
+		prims = append(prims, kv{n, s})
+		total += s
+	}
+	sort.Slice(prims, func(i, j int) bool { return prims[i].sec > prims[j].sec })
+	for _, p := range prims {
+		if p.sec == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s %8.3f ms  (%4.1f%%)\n", p.name, p.sec*1e3, p.sec/total*100)
+	}
+
+	if *perGC {
+		events, err := charonsim.SimulateGCEvents(*name, *factor, charonsim.Platform(*platform), *threads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nper-collection log:")
+		for _, ev := range events {
+			fmt.Printf("  [%2d] %-9s %-32s pause %10v  live %8.1f KB  reclaimed %8.1f KB  %6.1f GB/s\n",
+				ev.Seq, ev.Kind, ev.Reason, ev.Pause,
+				float64(ev.LiveBytes)/1024, float64(ev.ReclaimedBytes)/1024, ev.BandwidthGBs)
+		}
+	}
+
+	if *compare {
+		fmt.Println("\nspeedup over ddr4:")
+		base, err := charonsim.SimulateGC(*name, *factor, charonsim.PlatformDDR4, *threads)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
+			os.Exit(1)
+		}
+		for _, p := range charonsim.Platforms() {
+			o, err := charonsim.SimulateGC(*name, *factor, p, *threads)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gcstats: %s: %v\n", p, err)
+				continue
+			}
+			fmt.Printf("  %-20s %6.2fx  (pause %v)\n", p,
+				float64(base.TotalPause)/float64(o.TotalPause), o.TotalPause)
+		}
+	}
+}

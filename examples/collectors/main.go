@@ -1,0 +1,32 @@
+// Collector study: the paper's Table 1 claims Charon's primitives carry
+// over from ParallelScavenge to G1 and CMS. This example runs one
+// workload under all three collector modes (the library implements a
+// compacting ParallelScavenge, a G1-style mixed collector, and a
+// CMS-style mark-sweep) and shows that Charon accelerates each — with
+// Bitmap Count work present exactly where Table 1 puts it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"charonsim"
+)
+
+func main() {
+	workload := flag.String("workload", "CC", "workload to study")
+	flag.Parse()
+
+	rep, err := charonsim.Run("collectors", charonsim.Config{Workloads: []string{*workload}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep.Text)
+	fmt.Println("reading: the 'x' columns are Charon's speedup over the DDR4 host")
+	fmt.Println("under each collector; 'bc%' is Bitmap Count's share of host GC")
+	fmt.Println("time — nonzero for the compacting collectors (ParallelScavenge,")
+	fmt.Println("G1's region-liveness scans) and zero for CMS, which never")
+	fmt.Println("compacts. That is Table 1 of the paper, measured instead of")
+	fmt.Println("asserted.")
+}

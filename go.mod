@@ -1,0 +1,3 @@
+module charonsim
+
+go 1.22

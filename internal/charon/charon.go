@@ -1,0 +1,325 @@
+// Package charon implements the paper's contribution: the near-memory GC
+// accelerator placed on the logic layer of each HMC cube (Figure 5). It
+// models, in reservation (timing) form:
+//
+//   - the host-Charon offload interface of Section 4.1: 48 B request
+//     packets routed over the HMC links to the home cube, per-primitive
+//     command queues, and 16/32 B response packets, with the host thread
+//     blocked until the response returns;
+//   - the Copy/Search unit (Section 4.2): streaming 256 B accesses issued
+//     one per logic cycle, bounded by the MAI's 32 request-buffer entries;
+//   - the Bitmap Count unit (Section 4.3): the optimized subtract+popcount
+//     algorithm fed through the dedicated bitmap cache (8 KB, 8-way, 32 B
+//     blocks, Section 4.5);
+//   - the Scan&Push unit (Section 4.4): batched slot loads with dependent
+//     header checks, stack pushes and metadata updates, always scheduled
+//     on the central cube;
+//   - unified vs distributed bitmap cache and TLB placement (Section 4.6),
+//     the knob behind Figure 15's scalability comparison.
+//
+// Functional GC work is done by the collector; this package charges time
+// and traffic for the offloaded work descriptors.
+package charon
+
+import (
+	"charonsim/internal/cache"
+	"charonsim/internal/hmc"
+	"charonsim/internal/memsys"
+	"charonsim/internal/sim"
+)
+
+// Config sizes the accelerator (Table 2 defaults).
+type Config struct {
+	// CopySearchPerCube is the number of Copy/Search units per cube (2).
+	CopySearchPerCube int
+	// BitmapCountPerCube is the number of Bitmap Count units per cube (2).
+	BitmapCountPerCube int
+	// ScanPushUnits is the number of Scan&Push units, all on the central
+	// cube (8).
+	ScanPushUnits int
+	// MAIEntries is the per-cube request buffer depth (32).
+	MAIEntries int
+	// LogicPeriod is the logic-layer clock (HMC tCK, 1.6 ns).
+	LogicPeriod sim.Time
+	// StreamGrain is the Copy/Search access granularity (HMC max: 256 B).
+	StreamGrain uint64
+	// BitmapCacheBytes sizes the bitmap cache (default 8 KB).
+	BitmapCacheBytes uint64
+	// Distributed selects per-cube bitmap cache and TLB slices instead of
+	// unified structures on the central cube (Section 4.6).
+	Distributed bool
+	// CPUSide places the Charon units beside the host memory controller
+	// instead of on the cube logic layers (Figure 16): offload transport
+	// becomes an on-chip hop, but every memory access pays the full host
+	// link path and misses the internal TSV bandwidth.
+	CPUSide bool
+}
+
+// DefaultConfig returns Table 2's Charon configuration.
+func DefaultConfig() Config {
+	return Config{
+		CopySearchPerCube:  2,
+		BitmapCountPerCube: 2,
+		ScanPushUnits:      8,
+		MAIEntries:         32,
+		LogicPeriod:        1600 * sim.Picosecond,
+		StreamGrain:        256,
+		BitmapCacheBytes:   8 << 10,
+	}
+}
+
+// RefOp is the per-reference work of one Scan&Push invocation, in
+// accelerator-neutral form (the exec layer converts the collector's
+// recorded RefVisits).
+type RefOp struct {
+	Slot   uint64
+	Target uint64 // 0 when the slot held null
+	// CheckHeader: load the target's header (is_unmarked, MinorGC).
+	CheckHeader bool
+	// BitmapProbe: read the target's mark-bit state through the bitmap
+	// cache (is_unmarked, MajorGC).
+	BitmapProbe bool
+	// Push: write the slot/object to the object stack.
+	Push bool
+	// UpdateSlot: rewrite the slot with a forwarding address.
+	UpdateSlot bool
+	// MarkBitmap: mark_obj read-modify-write on the mark bitmaps (MajorGC).
+	MarkBitmap bool
+	// DirtyCard: card-table byte write (old-to-young metadata update).
+	DirtyCard bool
+	CardAddr  uint64
+}
+
+// Stats counts accelerator activity.
+type Stats struct {
+	Offloads       [4]uint64 // by unit kind: copy, search, scanpush, bitmapcount
+	RequestPackets uint64
+	ResponseBytes  uint64
+	BitmapCache    cache.Stats
+	TLBAccesses    uint64
+	TLBRemote      uint64
+	TLBWalks       uint64
+}
+
+// Unit kinds for stats indexing.
+const (
+	KCopy = iota
+	KSearch
+	KScanPush
+	KBitmapCount
+)
+
+// unit is one processing unit's reservation state.
+type unit struct {
+	freeAt sim.Time
+	busy   sim.Time
+}
+
+// mai is a cube's Memory Access Interface: a bounded request buffer that
+// limits in-flight memory accesses, like an MSHR file (Section 4.1).
+type mai struct {
+	inflight []sim.Time
+	limit    int
+}
+
+// reserve issues a memory access no earlier than ready, constrained by
+// buffer availability; complete computes the completion given the actual
+// start. Returns the completion time.
+func (m *mai) reserve(ready sim.Time, complete func(start sim.Time) sim.Time) sim.Time {
+	if len(m.inflight) < m.limit {
+		done := complete(ready)
+		m.inflight = append(m.inflight, done)
+		return done
+	}
+	idx := 0
+	for i := 1; i < len(m.inflight); i++ {
+		if m.inflight[i] < m.inflight[idx] {
+			idx = i
+		}
+	}
+	start := ready
+	if m.inflight[idx] > start {
+		start = m.inflight[idx]
+	}
+	done := complete(start)
+	m.inflight[idx] = done
+	return done
+}
+
+// Accelerator is the full Charon deployment over an HMC system.
+type Accelerator struct {
+	cfg Config
+	sys *hmc.System
+
+	copySearch  [][]unit // [cube][unit]
+	bitmapCount [][]unit
+	scanPush    []unit // central cube
+
+	mais []mai
+
+	// Unified bitmap cache (on the central cube) or per-cube slices.
+	bmCaches    []*cache.Cache
+	bmCachePort []*sim.Calendar // port occupancy per cache
+
+	// TLB slices (one, or one per cube when Distributed) and the active
+	// process id (PCID).
+	tlbs []*TLB
+	pcid uint16
+
+	Stats Stats
+}
+
+// New builds an accelerator over sys.
+func New(cfg Config, sys *hmc.System) *Accelerator {
+	ncubes := sys.Mapper().Cubes
+	a := &Accelerator{cfg: cfg, sys: sys}
+	for c := 0; c < ncubes; c++ {
+		a.copySearch = append(a.copySearch, make([]unit, cfg.CopySearchPerCube))
+		a.bitmapCount = append(a.bitmapCount, make([]unit, cfg.BitmapCountPerCube))
+		a.mais = append(a.mais, mai{limit: cfg.MAIEntries})
+	}
+	a.scanPush = make([]unit, cfg.ScanPushUnits)
+	ncaches := 1
+	if cfg.Distributed {
+		ncaches = ncubes
+	}
+	// TLB slices: Table 2 lists 32 entries per cube.
+	ntlbs := 1
+	if cfg.Distributed {
+		ntlbs = ncubes
+	}
+	for i := 0; i < ntlbs; i++ {
+		a.tlbs = append(a.tlbs, newTLB(32, sys.Mapper().CubeShift))
+	}
+
+	bmCfg := cache.BitmapCacheConfig()
+	if cfg.BitmapCacheBytes != 0 {
+		bmCfg.SizeBytes = cfg.BitmapCacheBytes
+	}
+	for i := 0; i < ncaches; i++ {
+		a.bmCaches = append(a.bmCaches, cache.New(bmCfg))
+		a.bmCachePort = append(a.bmCachePort, sim.NewCalendar(50*sim.Nanosecond))
+	}
+	return a
+}
+
+// Config returns the accelerator configuration.
+func (a *Accelerator) Config() Config { return a.cfg }
+
+// grain returns the configured streaming granularity.
+func (a *Accelerator) grain() uint64 {
+	if a.cfg.StreamGrain == 0 {
+		return StreamGrain
+	}
+	return a.cfg.StreamGrain
+}
+
+// System returns the underlying HMC system.
+func (a *Accelerator) System() *hmc.System { return a.sys }
+
+// pickUnit returns the index of the earliest-free unit.
+func pickUnit(us []unit) int {
+	best := 0
+	for i := 1; i < len(us); i++ {
+		if us[i].freeAt < us[best].freeAt {
+			best = i
+		}
+	}
+	return best
+}
+
+// onChipHop is the command latency to a CPU-side unit (Figure 16): an
+// on-chip queue traversal rather than a serial link.
+const onChipHop = 5 * sim.Nanosecond
+
+// transportRequest models the 48 B offload packet travelling from the host
+// to the destination cube's command queue (or the on-chip hop to a
+// CPU-side unit).
+func (a *Accelerator) transportRequest(t sim.Time, cube int) sim.Time {
+	a.Stats.RequestPackets++
+	if a.cfg.CPUSide {
+		return t + onChipHop
+	}
+	at := a.sys.HostLink().TransferAt(t, hmc.DirDown, hmc.OffloadReqBytes)
+	if cube != 0 {
+		at = a.sys.CubeLink(cube).TransferAt(at, hmc.DirDown, hmc.OffloadReqBytes)
+	}
+	return at
+}
+
+// transportResponse models the response packet back to the blocked host
+// thread.
+func (a *Accelerator) transportResponse(t sim.Time, cube int, bytes uint32) sim.Time {
+	a.Stats.ResponseBytes += uint64(bytes)
+	if a.cfg.CPUSide {
+		return t + onChipHop
+	}
+	if cube != 0 {
+		t = a.sys.CubeLink(cube).TransferAt(t, hmc.DirUp, bytes)
+	}
+	return a.sys.HostLink().TransferAt(t, hmc.DirUp, bytes)
+}
+
+// memAccess routes a unit's memory access: over the local TSVs (and cube
+// links for remote addresses) for near-memory placement, or over the full
+// host link path for CPU-side placement.
+func (a *Accelerator) memAccess(start sim.Time, cube int, kind memsys.Kind, addr uint64, size uint32) sim.Time {
+	if a.cfg.CPUSide {
+		return a.sys.HostAccessAt(start, kind, addr, size)
+	}
+	return a.sys.NearAccessAt(start, cube, kind, addr, size)
+}
+
+// bmCacheFor returns the bitmap cache index serving a unit on `cube`, plus
+// the extra per-access latency for reaching it (unified caches on the
+// central cube cost remote units a link round trip).
+func (a *Accelerator) bmCacheFor(cube int) (idx int, extra sim.Time) {
+	if a.cfg.Distributed {
+		return cube, 0
+	}
+	if cube != 0 {
+		// Round trip leaf<->centre for the lookup.
+		return 0, 2 * (3 * sim.Nanosecond)
+	}
+	return 0, 0
+}
+
+// bitmapCacheAccess reserves one access to the bitmap cache serving
+// `cube`, fetching from memory on a miss. Returns the data-ready time.
+func (a *Accelerator) bitmapCacheAccess(t sim.Time, cube int, addr uint64, write bool) sim.Time {
+	idx, extra := a.bmCacheFor(cube)
+	c := a.bmCaches[idx]
+	// The SRAM is dual-ported: two accesses per logic cycle.
+	port := a.cfg.LogicPeriod / 2
+	start := a.bmCachePort[idx].Reserve(t+extra, port) - port
+	res := c.Access(addr, write)
+	a.Stats.BitmapCache = c.Stats
+	done := start + c.Config().HitLatency
+	if !res.Hit {
+		homeCube := idx
+		if !a.cfg.Distributed {
+			homeCube = 0
+		}
+		done = a.memAccess(start, homeCube, memsys.Read, addr&^uint64(31), 32)
+	}
+	if res.Writeback {
+		a.memAccess(done, idx, memsys.Write, res.WritebackAddr, 32)
+	}
+	return done + extra
+}
+
+// FlushBitmapCaches models the coherence flush after Bitmap Count /
+// Scan&Push complete in MajorGC (Section 4.5): dirty lines are written
+// back and the cache emptied.
+func (a *Accelerator) FlushBitmapCaches(t sim.Time) sim.Time {
+	last := t
+	for i, c := range a.bmCaches {
+		for _, addr := range c.DirtyLines() {
+			if d := a.memAccess(t, i%len(a.mais), memsys.Write, addr, 32); d > last {
+				last = d
+			}
+		}
+		c.Flush()
+	}
+	return last
+}

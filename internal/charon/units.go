@@ -1,0 +1,253 @@
+package charon
+
+import (
+	"charonsim/internal/hmc"
+	"charonsim/internal/memsys"
+	"charonsim/internal/sim"
+)
+
+// StreamGrain is the access granularity of the Copy/Search unit: the HMC
+// maximum of 256 B (Section 4.2).
+const StreamGrain = 256
+
+// OffloadCopy performs `val offload(COPY, src, dst, size)` issued by a
+// blocked host thread at time t. The primitive is scheduled to the cube
+// housing the source (Section 4.2). Returns the time the response packet
+// reaches the host.
+func (a *Accelerator) OffloadCopy(t sim.Time, src, dst uint64, size uint32) sim.Time {
+	a.Stats.Offloads[KCopy]++
+	cube := a.sys.Mapper().Cube(src)
+	at := a.transportRequest(t, cube)
+	at = a.translate(at, cube, src)
+
+	u := pickUnit(a.copySearch[cube])
+	start := at
+	if a.copySearch[cube][u].freeAt > start {
+		start = a.copySearch[cube][u].freeAt
+	}
+
+	// Stream reads at one 256 B request per cycle, bounded by the MAI;
+	// completed reads drain to memory as a batched write stream (the unit
+	// write-buffers, so banks see read runs then write runs instead of a
+	// row-thrashing interleave).
+	var last sim.Time
+	issue := start
+	m := &a.mais[cube]
+	type pend struct {
+		off      uint64
+		n        uint32
+		readDone sim.Time
+	}
+	var writes []pend
+	memsys.SplitBursts(src, size, a.grain(), func(addr uint64, n uint32) {
+		off := addr - src
+		readDone := m.reserve(issue, func(st sim.Time) sim.Time {
+			return a.memAccess(st, cube, memsys.Read, addr, n)
+		})
+		writes = append(writes, pend{off: off, n: n, readDone: readDone})
+		issue += a.cfg.LogicPeriod
+	})
+	for _, w := range writes {
+		writeDone := a.memAccess(w.readDone, cube, memsys.Write, dst+w.off, w.n)
+		if writeDone > last {
+			last = writeDone
+		}
+	}
+	if last == 0 {
+		last = start + a.cfg.LogicPeriod
+	}
+	a.copySearch[cube][u].busy += last - start
+	a.copySearch[cube][u].freeAt = last
+	return a.transportResponse(last, cube, hmc.RespPlainBytes)
+}
+
+// OffloadSearch performs the card-table range search (Figure 7): stream
+// reads at 256 B granularity until `size` bytes are covered (the recorded
+// size already reflects early exit at the first dirty card). Scheduled to
+// the cube housing the start address. Returns host-visible completion.
+func (a *Accelerator) OffloadSearch(t sim.Time, start64 uint64, size uint32) sim.Time {
+	a.Stats.Offloads[KSearch]++
+	cube := a.sys.Mapper().Cube(start64)
+	at := a.transportRequest(t, cube)
+	at = a.translate(at, cube, start64)
+
+	u := pickUnit(a.copySearch[cube])
+	start := at
+	if a.copySearch[cube][u].freeAt > start {
+		start = a.copySearch[cube][u].freeAt
+	}
+
+	var last sim.Time
+	issue := start
+	m := &a.mais[cube]
+	memsys.SplitBursts(start64, size, a.grain(), func(addr uint64, n uint32) {
+		done := m.reserve(issue, func(st sim.Time) sim.Time {
+			return a.memAccess(st, cube, memsys.Read, addr, n)
+		})
+		// One cycle of comparison per response.
+		done += a.cfg.LogicPeriod
+		if done > last {
+			last = done
+		}
+		issue += a.cfg.LogicPeriod
+	})
+	if last == 0 {
+		last = start + a.cfg.LogicPeriod
+	}
+	a.copySearch[cube][u].busy += last - start
+	a.copySearch[cube][u].freeAt = last
+	// Search returns a value: 32 B response.
+	return a.transportResponse(last, cube, hmc.RespValueBytes)
+}
+
+// OffloadBitmapCount performs live_words_in_range with the optimized
+// subtract+popcount algorithm (Section 4.3): both maps are read through
+// the bitmap cache at 32 B blocks and processed 8 bytes per cycle.
+// begAddr is the beg-map byte address; the end map is read at begAddr +
+// offset (Figure 8 line 3). Scheduled to the cube housing the bitmap.
+func (a *Accelerator) OffloadBitmapCount(t sim.Time, begAddr, endAddr uint64, size uint32) sim.Time {
+	a.Stats.Offloads[KBitmapCount]++
+	cube := a.sys.Mapper().Cube(begAddr)
+	at := a.transportRequest(t, cube)
+	at = a.translate(at, cube, begAddr)
+
+	u := pickUnit(a.bitmapCount[cube])
+	start := at
+	if a.bitmapCount[cube][u].freeAt > start {
+		start = a.bitmapCount[cube][u].freeAt
+	}
+
+	// Fetch both maps block by block through the bitmap cache.
+	var memLast sim.Time
+	for _, base := range [2]uint64{begAddr, endAddr} {
+		memsys.SplitBursts(base, size, 32, func(addr uint64, n uint32) {
+			if d := a.bitmapCacheAccess(start, cube, addr, false); d > memLast {
+				memLast = d
+			}
+		})
+	}
+	// Pipeline: 8 bytes of each map per cycle.
+	words := (size + 7) / 8
+	computeDone := start + sim.Time(words)*a.cfg.LogicPeriod
+	last := memLast
+	if computeDone > last {
+		last = computeDone
+	}
+	a.bitmapCount[cube][u].busy += last - start
+	a.bitmapCount[cube][u].freeAt = last
+	return a.transportResponse(last, cube, hmc.RespValueBytes)
+}
+
+// OffloadScanPush executes one Scan&Push invocation (Figure 11) on a
+// central-cube unit: batched slot loads (coalesced to 256 B requests, one
+// per cycle), dependent header checks, then pushes / slot updates / mark
+// RMWs / card updates as recorded. stackTop is the object-stack address
+// for pushes. Returns host-visible completion.
+func (a *Accelerator) OffloadScanPush(t sim.Time, obj uint64, refs []RefOp, stackTop uint64) sim.Time {
+	a.Stats.Offloads[KScanPush]++
+	const cube = 0 // always the central cube (Section 4.4)
+	at := a.transportRequest(t, cube)
+	at = a.translate(at, cube, obj)
+
+	u := pickUnit(a.scanPush)
+	start := at
+	if a.scanPush[u].freeAt > start {
+		start = a.scanPush[u].freeAt
+	}
+
+	m := &a.mais[cube]
+	var last sim.Time
+	bump := func(d sim.Time) {
+		if d > last {
+			last = d
+		}
+	}
+
+	// Slot loads: coalesce contiguous slots into streaming requests.
+	issue := start
+	slotDone := make(map[uint64]sim.Time, len(refs))
+	i := 0
+	for i < len(refs) {
+		base := refs[i].Slot
+		end := base + 8
+		j := i + 1
+		for j < len(refs) && refs[j].Slot == end && end-base < a.grain() {
+			end += 8
+			j++
+		}
+		done := m.reserve(issue, func(st sim.Time) sim.Time {
+			return a.memAccess(st, cube, memsys.Read, base, uint32(end-base))
+		})
+		for k := i; k < j; k++ {
+			slotDone[refs[k].Slot] = done
+		}
+		bump(done)
+		issue += a.cfg.LogicPeriod
+		i = j
+	}
+
+	// Dependent work per reference.
+	push := 0
+	for _, r := range refs {
+		ready := slotDone[r.Slot]
+		if r.Target == 0 {
+			continue
+		}
+		if r.CheckHeader {
+			// is_unmarked: 16 B header read at the target (minimum HMC
+			// granularity; Section 4.5 notes the overfetch).
+			ready = m.reserve(ready, func(st sim.Time) sim.Time {
+				return a.memAccess(st, cube, memsys.Read, r.Target&^uint64(15), 16)
+			})
+			bump(ready)
+		}
+		if r.BitmapProbe {
+			// MajorGC is_unmarked: mark-bit read through the bitmap cache.
+			ready = a.bitmapCacheAccess(ready, cube, r.Target, false)
+			bump(ready)
+		}
+		if r.MarkBitmap {
+			// mark_obj: RMW on both maps through the bitmap cache.
+			d := a.bitmapCacheAccess(ready, cube, r.Target, true)
+			d = a.bitmapCacheAccess(d, cube, r.Target+8, true)
+			bump(d)
+			ready = d
+		}
+		if r.UpdateSlot {
+			bump(a.memAccess(ready, cube, memsys.Write, r.Slot&^uint64(15), 16))
+		}
+		if r.DirtyCard {
+			bump(a.memAccess(ready, cube, memsys.Write, r.CardAddr&^uint64(15), 16))
+		}
+		if r.Push {
+			addr := stackTop + uint64(push)*8
+			bump(a.memAccess(ready, cube, memsys.Write, addr&^uint64(15), 16))
+			push++
+		}
+	}
+
+	if last < start {
+		last = start + a.cfg.LogicPeriod
+	}
+	a.scanPush[u].busy += last - start
+	a.scanPush[u].freeAt = last
+	return a.transportResponse(last, cube, hmc.RespPlainBytes)
+}
+
+// UnitBusy sums busy time per unit kind (for utilization/energy).
+func (a *Accelerator) UnitBusy() (copySearch, scanPush, bitmapCount sim.Time) {
+	for _, cs := range a.copySearch {
+		for _, u := range cs {
+			copySearch += u.busy
+		}
+	}
+	for _, u := range a.scanPush {
+		scanPush += u.busy
+	}
+	for _, bc := range a.bitmapCount {
+		for _, u := range bc {
+			bitmapCount += u.busy
+		}
+	}
+	return
+}

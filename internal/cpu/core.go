@@ -1,0 +1,368 @@
+// Package cpu models the host out-of-order core from Table 2 of the
+// Charon paper: a 2.67 GHz Westmere-class core with a 36-entry instruction
+// window, 128-entry ROB, 4-way issue, and a bounded number of MSHRs.
+//
+// The model is an interval/reservation model in the style of zsim's OoO
+// core (the simulator the paper itself extends): each GC primitive is
+// expanded into a stream of micro-operations (loads, stores, compute) with
+// explicit dependencies, and the core computes per-op completion times
+// subject to
+//
+//   - front-end/issue bandwidth (IssueWidth µops per cycle),
+//   - the instruction window (an op cannot enter the window until the op
+//     WindowSize slots earlier has retired, and retirement is in order),
+//   - data dependencies (an op waits for the op it depends on), and
+//   - bounded memory-level parallelism (at most MSHRs outstanding misses).
+//
+// This is exactly the mechanism the paper blames for GC's sub-0.5 IPC:
+// dependent loads clog the window, and the window/MSHR limits cap MLP far
+// below what the memory system could sustain.
+package cpu
+
+import (
+	"charonsim/internal/cache"
+	"charonsim/internal/memsys"
+	"charonsim/internal/sim"
+)
+
+// OpKind classifies a micro-operation.
+type OpKind uint8
+
+const (
+	// OpRead is a data load.
+	OpRead OpKind = iota
+	// OpWrite is a data store.
+	OpWrite
+	// OpCompute is a block of ALU work with no memory access.
+	OpCompute
+)
+
+// NoDep marks an op without a data dependency.
+const NoDep int32 = -1
+
+// Op is one micro-operation of a primitive's execution.
+type Op struct {
+	Kind OpKind
+	Addr uint64
+	Size uint32
+	// Dep is the index (within the same stream) of the op whose result
+	// this op consumes, or NoDep.
+	Dep int32
+	// Work is the number of dynamic instructions attributed to this op
+	// (charged against issue bandwidth). Zero means one instruction.
+	Work uint32
+}
+
+// Config holds the core parameters.
+type Config struct {
+	ClockPeriod sim.Time
+	WindowSize  int
+	IssueWidth  int
+	MSHRs       int
+	// PrefetchLead is how far ahead of demand the L2 stream prefetcher
+	// runs: a read recognized as part of a sequential stream completes
+	// this much earlier than its memory access would (never earlier than
+	// an L2 hit), and bypasses the MSHR limit — hardware prefetchers have
+	// their own trackers. Zero disables prefetching.
+	PrefetchLead sim.Time
+}
+
+// DefaultConfig returns Table 2's host core: 2.67 GHz, 36-entry window,
+// 4-way issue. Table 2 does not list MSHRs; 10 per core matches Westmere's
+// L1 fill buffers, and the stream prefetcher covers ~100 ns of lead.
+func DefaultConfig() Config {
+	return Config{ClockPeriod: 375 * sim.Picosecond, WindowSize: 36, IssueWidth: 4, MSHRs: 10,
+		PrefetchLead: 100 * sim.Nanosecond}
+}
+
+// MemBackend is the main-memory system behind the cache hierarchy: either
+// dram.DDR4 or the HMC host path.
+type MemBackend interface {
+	AccessAt(start sim.Time, kind memsys.Kind, addr uint64, size uint32) sim.Time
+}
+
+// Stats accumulates per-core execution statistics.
+type Stats struct {
+	Ops          uint64
+	Instructions uint64
+	MemOps       uint64
+	MemAccesses  uint64 // line-granularity accesses after splitting
+	CacheHits    uint64
+	CacheMisses  uint64
+	Prefetches   uint64 // stream-prefetched misses
+	Busy         sim.Time
+}
+
+// IPC returns instructions per cycle over the busy period.
+func (s Stats) IPC(clock sim.Time) float64 {
+	if s.Busy == 0 || clock == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / (float64(s.Busy) / float64(clock))
+}
+
+// Core is one host core with a private L1/L2 (and a shared L3 owned by the
+// containing Host). Cores are driven by reservation: ExecOps may run ahead
+// of the engine clock; the exec layer interleaves threads at primitive
+// granularity to keep contention realistic.
+type Core struct {
+	cfg  Config
+	hier *cache.Hierarchy
+	mem  MemBackend
+
+	cursor     sim.Time   // front-end clock
+	retireRing []sim.Time // retire times of the last WindowSize ops
+	retireIdx  int
+	lastRetire sim.Time
+	mshr       []sim.Time // completion times of outstanding misses
+
+	// Stream state: completion times of recent ops, indexed by absolute
+	// stream position, so dependencies resolve across ExecBatch calls.
+	ring [streamRing]sim.Time
+	pos  int
+
+	// Prefetcher stream table: last miss line per tracked stream.
+	streams   [4]uint64
+	streamIdx int
+
+	Stats Stats
+}
+
+// streamRing bounds how far back a dependency may reach across batches;
+// primitive expansions only reference ops a few positions back.
+const streamRing = 512
+
+// NewCore builds a core with its own hierarchy (levels may be shared: the
+// Host wires the same L3 into every core's hierarchy).
+func NewCore(cfg Config, hier *cache.Hierarchy, mem MemBackend) *Core {
+	return &Core{cfg: cfg, hier: hier, mem: mem, retireRing: make([]sim.Time, cfg.WindowSize)}
+}
+
+// Hierarchy returns the core's cache hierarchy.
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// Cursor returns the core's local front-end clock.
+func (c *Core) Cursor() sim.Time { return c.cursor }
+
+// SetCursor fast-forwards the core's local clock (e.g. to the start of a
+// GC pause).
+func (c *Core) SetCursor(t sim.Time) {
+	if t > c.cursor {
+		c.cursor = t
+	}
+}
+
+// mshrSlot returns the earliest time a new miss can be issued given at
+// most cfg.MSHRs outstanding, and records the new miss's completion.
+func (c *Core) mshrReserve(ready sim.Time, complete func(start sim.Time) sim.Time) sim.Time {
+	if len(c.mshr) < c.cfg.MSHRs {
+		done := complete(ready)
+		c.mshr = append(c.mshr, done)
+		return done
+	}
+	// Find the earliest-free MSHR.
+	idx := 0
+	for i := 1; i < len(c.mshr); i++ {
+		if c.mshr[i] < c.mshr[idx] {
+			idx = i
+		}
+	}
+	start := ready
+	if c.mshr[idx] > start {
+		start = c.mshr[idx]
+	}
+	done := complete(start)
+	c.mshr[idx] = done
+	return done
+}
+
+// ExecOps executes one primitive's op stream starting no earlier than
+// start, returning the time the last op retires. State (caches, window,
+// MSHRs, front-end clock) persists across calls: consecutive calls model a
+// single continuous thread. Op dependencies are indices within ops.
+func (c *Core) ExecOps(start sim.Time, ops []Op) sim.Time {
+	return c.ExecBatch(start, ops, c.pos)
+}
+
+// StreamPos returns the core's absolute instruction-stream position.
+func (c *Core) StreamPos() int { return c.pos }
+
+// ExecBatch executes a batch of ops whose Dep fields are relative to
+// stream position depBase (so a long primitive can be executed in several
+// batches, interleaving with other cores' resource reservations, while
+// dependencies still resolve across batch boundaries).
+func (c *Core) ExecBatch(start sim.Time, ops []Op, depBase int) sim.Time {
+	if start > c.cursor {
+		c.cursor = start
+	}
+	startBusy := c.cursor
+
+	for i := range ops {
+		op := &ops[i]
+		// Front-end: charge issue bandwidth.
+		work := op.Work
+		if work == 0 {
+			work = 1
+		}
+		c.Stats.Instructions += uint64(work)
+		cycles := (uint64(work) + uint64(c.cfg.IssueWidth) - 1) / uint64(c.cfg.IssueWidth)
+		c.cursor += sim.Time(cycles) * c.cfg.ClockPeriod
+
+		// Window: the op WindowSize slots earlier must have retired.
+		if old := c.retireRing[c.retireIdx]; old > c.cursor {
+			c.cursor = old
+		}
+
+		ready := c.cursor
+		if op.Dep >= 0 {
+			abs := depBase + int(op.Dep)
+			if abs < c.pos && c.pos-abs <= streamRing {
+				if d := c.ring[abs%streamRing]; d > ready {
+					ready = d
+				}
+			}
+		}
+
+		var done sim.Time
+		switch op.Kind {
+		case OpCompute:
+			done = ready
+		default:
+			c.Stats.MemOps++
+			kind := memsys.Read
+			write := false
+			if op.Kind == OpWrite {
+				kind = memsys.Write
+				write = true
+			}
+			size := op.Size
+			if size == 0 {
+				size = 8
+			}
+			memsys.SplitBursts(op.Addr, size, 64, func(a uint64, s uint32) {
+				c.Stats.MemAccesses++
+				r := c.hier.Access(a, write)
+				var d sim.Time
+				if r.MemoryAccess {
+					c.Stats.CacheMisses++
+					line := a &^ 63
+					stream := false
+					for i := range c.streams {
+						if line == c.streams[i]+64 {
+							c.streams[i] = line
+							stream = true
+							break
+						}
+					}
+					if !stream {
+						c.streamIdx = (c.streamIdx + 1) % len(c.streams)
+						c.streams[c.streamIdx] = line
+					}
+					if stream && !write && c.cfg.PrefetchLead > 0 {
+						// Prefetched: the access was issued PrefetchLead
+						// early by the stream prefetcher (own trackers, no
+						// MSHR), so the demand load sees at most the
+						// residual latency. Bandwidth is still charged.
+						c.Stats.Prefetches++
+						memDone := c.mem.AccessAt(ready, kind, a, 64)
+						d = ready + r.Latency
+						if memDone > c.cfg.PrefetchLead && memDone-c.cfg.PrefetchLead > d {
+							d = memDone - c.cfg.PrefetchLead
+						}
+					} else {
+						d = c.mshrReserve(ready+r.Latency, func(st sim.Time) sim.Time {
+							return c.mem.AccessAt(st, kind, a, 64)
+						})
+					}
+				} else {
+					c.Stats.CacheHits++
+					d = ready + r.Latency
+				}
+				// Dirty victims write back asynchronously (no stall), but
+				// the traffic is charged to the memory system.
+				for _, wb := range r.Writebacks {
+					c.mem.AccessAt(d, memsys.Write, wb, 64)
+				}
+				if d > done {
+					done = d
+				}
+			})
+		}
+
+		c.ring[c.pos%streamRing] = done
+		c.pos++
+		// In-order retirement.
+		if done < c.lastRetire {
+			done = c.lastRetire
+		}
+		c.lastRetire = done
+		c.retireRing[c.retireIdx] = done
+		c.retireIdx = (c.retireIdx + 1) % c.cfg.WindowSize
+		c.Stats.Ops++
+	}
+
+	finish := c.cursor
+	if c.lastRetire > finish {
+		finish = c.lastRetire
+	}
+	c.Stats.Busy += finish - startBusy
+	return finish
+}
+
+// FlushCaches models the GC-start bulk cache flush (Section 4.6): all
+// levels are emptied and each dirty line is written back through the
+// memory system starting at t. Returns the time the flush traffic drains.
+func (c *Core) FlushCaches(t sim.Time) sim.Time {
+	last := t
+	for _, level := range c.hier.Levels {
+		for _, addr := range level.DirtyLines() {
+			if d := c.mem.AccessAt(t, memsys.Write, addr, 64); d > last {
+				last = d
+			}
+		}
+		level.Flush()
+	}
+	return last
+}
+
+// Host is the 8-core processor: per-core L1+L2 in front of a shared L3.
+type Host struct {
+	Cores []*Core
+	L3    *cache.Cache
+}
+
+// NewHost builds Table 2's 8-core host over the given memory backend.
+func NewHost(ncores int, cfg Config, mem MemBackend) *Host {
+	return NewHostWithCaches(ncores, cfg, mem, cache.L1DConfig(), cache.L2Config(), cache.L3Config())
+}
+
+// NewHostWithCaches builds a host with explicit cache geometries (the
+// experiment platforms use capacity-scaled caches to match scaled heaps).
+func NewHostWithCaches(ncores int, cfg Config, mem MemBackend, l1, l2, l3cfg cache.Config) *Host {
+	l3 := cache.New(l3cfg)
+	h := &Host{L3: l3}
+	for i := 0; i < ncores; i++ {
+		hier := &cache.Hierarchy{Levels: []*cache.Cache{
+			cache.New(l1),
+			cache.New(l2),
+			l3,
+		}}
+		h.Cores = append(h.Cores, NewCore(cfg, hier, mem))
+	}
+	return h
+}
+
+// Stats sums per-core statistics.
+func (h *Host) Stats() Stats {
+	var s Stats
+	for _, c := range h.Cores {
+		s.Ops += c.Stats.Ops
+		s.Instructions += c.Stats.Instructions
+		s.MemOps += c.Stats.MemOps
+		s.MemAccesses += c.Stats.MemAccesses
+		s.CacheHits += c.Stats.CacheHits
+		s.CacheMisses += c.Stats.CacheMisses
+		s.Busy += c.Stats.Busy
+	}
+	return s
+}

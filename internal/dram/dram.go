@@ -1,0 +1,242 @@
+// Package dram models DRAM bank timing: row-buffer state machines with the
+// tRCD/tCAS/tRP/tRAS/tWR constraints from Table 2 of the Charon paper, and
+// a shared data bus per controller. The same bank model serves both the
+// DDR4 channels of the baseline system and the per-vault controllers inside
+// an HMC cube (which use HMC timings and a narrower TSV bus slice).
+//
+// The model is an open-page FCFS reservation model: each incoming request
+// reserves the earliest slot consistent with its bank's row-buffer state
+// and the data bus, which is accurate for in-order per-bank service and
+// captures the three effects the paper's results hinge on — row-buffer
+// locality, bank-level parallelism, and data-bus bandwidth saturation.
+package dram
+
+import (
+	"charonsim/internal/memsys"
+	"charonsim/internal/sim"
+)
+
+// Timing holds the DRAM timing parameters (durations, not cycle counts).
+type Timing struct {
+	TCK  sim.Time // clock period (informational)
+	TRAS sim.Time // min time a row stays open after activate
+	TRCD sim.Time // activate to column access
+	TCAS sim.Time // column access to first data
+	TWR  sim.Time // write recovery before precharge
+	TRP  sim.Time // precharge duration
+
+	BurstBytes uint32   // bytes transferred per data-bus burst slot
+	BurstTime  sim.Time // bus occupancy of one burst slot
+}
+
+// DDR4Timing returns Table 2's DDR4 parameters. Each channel sustains
+// 17 GB/s, so one 64 B burst occupies ~3.76 ns of the channel data bus.
+func DDR4Timing() Timing {
+	return Timing{
+		TCK:        937 * sim.Picosecond,
+		TRAS:       35 * sim.Nanosecond,
+		TRCD:       13500 * sim.Picosecond,
+		TCAS:       13500 * sim.Picosecond,
+		TWR:        15 * sim.Nanosecond,
+		TRP:        13500 * sim.Picosecond,
+		BurstBytes: 64,
+		BurstTime:  3765 * sim.Picosecond, // 64 B / 17 GB/s
+	}
+}
+
+// HMCVaultTiming returns Table 2's HMC parameters. Each cube sustains
+// 320 GB/s over 32 vaults, i.e. 10 GB/s per vault TSV slice; one 32 B burst
+// occupies 3.2 ns of the vault's TSV bus.
+func HMCVaultTiming() Timing {
+	return Timing{
+		TCK:        1600 * sim.Picosecond,
+		TRAS:       22400 * sim.Picosecond,
+		TRCD:       11200 * sim.Picosecond,
+		TCAS:       11200 * sim.Picosecond,
+		TWR:        14400 * sim.Picosecond,
+		TRP:        11200 * sim.Picosecond,
+		BurstBytes: 32,
+		BurstTime:  3200 * sim.Picosecond, // 32 B / 10 GB/s
+	}
+}
+
+// bank tracks one DRAM bank's row-buffer state.
+type bank struct {
+	open       bool
+	row        uint64
+	readyAt    sim.Time // earliest next column/activate command
+	activateAt sim.Time // when the open row was activated (for tRAS)
+}
+
+// Controller is a single-bus DRAM controller: one DDR4 channel (ranks ×
+// banks behind a 17 GB/s bus) or one HMC vault (banks behind a 10 GB/s TSV
+// slice). Requests must already be mapped: the caller provides the bank
+// index and row for each access.
+type Controller struct {
+	eng    *sim.Engine
+	timing Timing
+	banks  []bank
+
+	bus *sim.Calendar // data-bus occupancy (gap-filling reservations)
+
+	Stats memsys.Stats
+}
+
+// NewController returns a controller managing nbanks banks.
+func NewController(eng *sim.Engine, timing Timing, nbanks int) *Controller {
+	return &Controller{
+		eng: eng, timing: timing, banks: make([]bank, nbanks),
+		bus: sim.NewCalendar(100 * sim.Nanosecond),
+	}
+}
+
+// BusBusy returns the accumulated data-bus occupancy.
+func (c *Controller) BusBusy() sim.Time { return c.bus.Busy }
+
+// Access reserves service for one request of size bytes hitting (bankIdx,
+// row) and returns the completion time. The caller schedules its own
+// completion callback at that time. Size may exceed one burst; the extra
+// bursts occupy consecutive bus slots with the row held open.
+func (c *Controller) Access(kind memsys.Kind, bankIdx int, row uint64, size uint32) sim.Time {
+	return c.AccessAt(c.eng.Now(), kind, bankIdx, row, size)
+}
+
+// WriteDrainOverhead is the extra data-bus occupancy factor charged to
+// posted writes (numerator/denominator): the amortized cost of the
+// activates and write-recovery slots spent while the controller drains its
+// write buffer in batches. Real controllers buffer stores and drain them
+// in row-sorted runs, so writes do not thrash the read stream's open rows;
+// their visible cost is bandwidth, modelled here as 25% extra occupancy.
+const (
+	writeDrainNum = 5
+	writeDrainDen = 4
+)
+
+// AccessAt is Access with an explicit earliest start time, used when the
+// request reaches this controller through a modelled transport (an HMC
+// link) whose arrival time is in the future.
+func (c *Controller) AccessAt(now sim.Time, kind memsys.Kind, bankIdx int, row uint64, size uint32) sim.Time {
+	if t := c.eng.Now(); t > now {
+		now = t
+	}
+
+	nbursts := (uint64(size) + uint64(c.timing.BurstBytes) - 1) / uint64(c.timing.BurstBytes)
+	if nbursts == 0 {
+		nbursts = 1
+	}
+	occupancy := sim.Time(nbursts) * c.timing.BurstTime
+
+	if kind == memsys.Write {
+		// Posted write: absorbed by the write buffer and drained
+		// opportunistically in row-sorted batches; the system-visible cost
+		// is data-bus occupancy plus the drain overhead.
+		occ := occupancy * writeDrainNum / writeDrainDen
+		done := c.bus.Reserve(now, occ)
+		c.Stats.Record(&memsys.Request{Kind: kind, Size: size})
+		return done
+	}
+
+	b := &c.banks[bankIdx]
+	start := b.readyAt
+	if start < now {
+		start = now
+	}
+
+	// Column commands pipeline: successive row hits issue every burst slot
+	// (tCCD ≈ burst time) and their CAS latencies overlap, so the bank's
+	// next-command time advances by the burst occupancy, not the full
+	// access latency.
+	var dataAt sim.Time
+	switch {
+	case b.open && b.row == row:
+		// Row hit: column access only.
+		dataAt = start + c.timing.TCAS
+		b.readyAt = start + occupancy
+	case !b.open:
+		// Closed bank: activate then column access.
+		b.activateAt = start
+		dataAt = start + c.timing.TRCD + c.timing.TCAS
+		b.readyAt = start + c.timing.TRCD + occupancy
+		b.open = true
+		b.row = row
+	default:
+		// Row conflict: precharge (respecting tRAS and tWR), activate, access.
+		pre := start
+		if t := b.activateAt + c.timing.TRAS; t > pre {
+			pre = t
+		}
+		act := pre + c.timing.TRP
+		b.activateAt = act
+		dataAt = act + c.timing.TRCD + c.timing.TCAS
+		b.readyAt = act + c.timing.TRCD + occupancy
+		b.row = row
+	}
+
+	// Data bus: the burst train starts when both the data is ready and a
+	// bus slot is free (gap-filling: an idle slot before someone else's
+	// future reservation is usable).
+	done := c.bus.Reserve(dataAt, occupancy)
+	c.Stats.Record(&memsys.Request{Kind: kind, Size: size})
+	return done
+}
+
+// DDR4 is the baseline main-memory system: a mapper plus one Controller per
+// channel. It accepts arbitrary-size requests, splits them into 64 B lines,
+// routes each line to its channel, and completes the request when the last
+// line finishes.
+type DDR4 struct {
+	eng      *sim.Engine
+	mapper   *memsys.DDR4Mapper
+	channels []*Controller
+}
+
+// NewDDR4 builds the Table 2 DDR4 system on eng.
+func NewDDR4(eng *sim.Engine) *DDR4 {
+	m := memsys.NewDDR4Mapper()
+	d := &DDR4{eng: eng, mapper: m}
+	for i := 0; i < m.Channels; i++ {
+		d.channels = append(d.channels, NewController(eng, DDR4Timing(), m.Ranks*m.Banks))
+	}
+	return d
+}
+
+// Mapper exposes the address mapping.
+func (d *DDR4) Mapper() *memsys.DDR4Mapper { return d.mapper }
+
+// Channels exposes the per-channel controllers (for stats).
+func (d *DDR4) Channels() []*Controller { return d.channels }
+
+// Stats sums traffic over all channels.
+func (d *DDR4) Stats() memsys.Stats {
+	var s memsys.Stats
+	for _, c := range d.channels {
+		s.Add(c.Stats)
+	}
+	return s
+}
+
+// Submit implements memsys.Port: the request is split into 64 B lines that
+// are serviced by their home channels; OnDone fires when the last line
+// completes.
+func (d *DDR4) Submit(r *memsys.Request) {
+	r.IssuedAt = d.eng.Now()
+	last := d.AccessAt(d.eng.Now(), r.Kind, r.Addr, r.Size)
+	if r.OnDone != nil {
+		d.eng.At(last, r.OnDone)
+	}
+}
+
+// AccessAt reserves service for an access starting no earlier than start
+// and returns the completion time of its last line.
+func (d *DDR4) AccessAt(start sim.Time, kind memsys.Kind, addr uint64, size uint32) sim.Time {
+	var last sim.Time
+	memsys.SplitBursts(addr, size, 64, func(a uint64, s uint32) {
+		coord := d.mapper.Map(a)
+		ch := d.channels[coord.Channel]
+		done := ch.AccessAt(start, kind, coord.Rank*d.mapper.Banks+coord.Bank, coord.Row, s)
+		if done > last {
+			last = done
+		}
+	})
+	return last
+}

@@ -1,0 +1,175 @@
+// Package exec binds the collector's recorded work descriptors to the
+// platform timing models. A recorded GC event is replayed on one of four
+// platforms — host over DDR4, host over HMC, Charon (near-memory or
+// CPU-side), and Ideal (zero-cost primitives) — with the GC threads
+// interleaved in global time order over the shared memory system. This is
+// how every figure of the paper's evaluation is regenerated from a single
+// functional GC run.
+package exec
+
+import (
+	"charonsim/internal/cpu"
+	"charonsim/internal/gc"
+	"charonsim/internal/gcmeta"
+	"charonsim/internal/heap"
+)
+
+// Software-path instruction cost estimates (dynamic instructions charged
+// per micro-op). These drive the Figure 4 breakdown shares; the constants
+// are exported indirectly through AblationWork for sensitivity benches.
+const (
+	workCopyLoad   = 8   // word-copy loop body per 64 B line (load half)
+	workCopyStore  = 4   // store half
+	workSearchLine = 24  // 64 byte-compares per card-table line
+	workSlotLoad   = 3   // reference load + null/region checks
+	workHeaderChk  = 4   // is_unmarked / forwarding test
+	workPushStore  = 4   // stack push bookkeeping
+	workSlotStore  = 3   // slot update
+	workMarkRMW    = 10  // mark_obj bitmap read-modify-write pair
+	workBitmapWord = 150 // Figure 8 bit-iteration: ~2.3 instr/bit over a 64-bit word
+	workAdjustSlot = 16  // calc-new-pointer lookup + store
+)
+
+// expander turns invocations into cpu.Op streams for the software path.
+// It needs the metadata layout to synthesize bitmap/card addresses.
+type expander struct {
+	lay     gc.Layout
+	heapLo  heap.Addr
+	endOff  uint64 // end-map base = beg-map base + endOff
+	scratch []cpu.Op
+}
+
+func newExpander(lay gc.Layout, heapLo heap.Addr, heapBytes uint64) *expander {
+	n := (heapBytes/heap.WordBytes + 63) / 64
+	return &expander{lay: lay, heapLo: heapLo, endOff: (n*8 + 4095) / 4096 * 4096}
+}
+
+// begByte returns the beg-map byte address for a heap address.
+func (x *expander) begByte(a heap.Addr) uint64 {
+	return uint64(x.lay.BitmapBase) + uint64(a-x.heapLo)/heap.WordBytes/8
+}
+
+// endByte returns the end-map byte address for a heap address (the end
+// map sits one page-rounded map-size after the beg map, matching
+// gcmeta.MarkBitmaps).
+func (x *expander) endByte(a heap.Addr) uint64 {
+	return x.begByte(a) + x.endOff
+}
+
+// cardByte returns the card-table byte address guarding a heap slot.
+func (x *expander) cardByte(a heap.Addr) uint64 {
+	return uint64(x.lay.CardBase) + uint64(a-x.heapLo)/gcmeta.CardBytes
+}
+
+// expandCopy expands an invocation for a stepper. Each thread owns its
+// expander, and a thread finishes an invocation before expanding the next,
+// so returning the reused scratch slice is safe.
+func (x *expander) expandCopy(inv *gc.Invocation, ev *gc.Event, major bool) []cpu.Op {
+	return x.expand(inv, ev, major)
+}
+
+// expand appends the op stream for inv to x.scratch and returns it. The
+// slice is reused across calls.
+func (x *expander) expand(inv *gc.Invocation, ev *gc.Event, major bool) []cpu.Op {
+	ops := x.scratch[:0]
+	switch inv.Prim {
+	case gc.PrimCopy:
+		// Word-copy loop at cache-line granularity: the store depends on
+		// its load; successive lines are independent (the OoO window
+		// overlaps them up to the MSHR limit).
+		src, dst := uint64(inv.A), uint64(inv.B)
+		for off := uint32(0); off < inv.N; off += 64 {
+			n := inv.N - off
+			if n > 64 {
+				n = 64
+			}
+			ld := int32(len(ops))
+			ops = append(ops,
+				cpu.Op{Kind: cpu.OpRead, Addr: src + uint64(off), Size: n, Dep: cpu.NoDep, Work: workCopyLoad},
+				cpu.Op{Kind: cpu.OpWrite, Addr: dst + uint64(off), Size: n, Dep: ld, Work: workCopyStore},
+			)
+		}
+
+	case gc.PrimSearch:
+		// Sequential card-byte scan, line by line.
+		a := uint64(inv.A)
+		for off := uint32(0); off < inv.N; off += 64 {
+			n := inv.N - off
+			if n > 64 {
+				n = 64
+			}
+			ops = append(ops, cpu.Op{Kind: cpu.OpRead, Addr: a + uint64(off), Size: n, Dep: cpu.NoDep, Work: workSearchLine})
+		}
+
+	case gc.PrimScanPush:
+		refs := ev.Refs[inv.RefOff : inv.RefOff+inv.RefLen]
+		pushes := 0
+		for i := range refs {
+			r := &refs[i]
+			slotLd := int32(len(ops))
+			ops = append(ops, cpu.Op{Kind: cpu.OpRead, Addr: uint64(r.Slot), Size: 8, Dep: cpu.NoDep, Work: workSlotLoad})
+			if r.Target == 0 || r.Flags == gc.RefNull {
+				continue
+			}
+			// is_unmarked: header load (minor) or bitmap probe (major),
+			// dependent on the slot value.
+			chk := int32(len(ops))
+			if major {
+				ops = append(ops, cpu.Op{Kind: cpu.OpRead, Addr: x.begByte(r.Target), Size: 8, Dep: slotLd, Work: workHeaderChk})
+			} else {
+				ops = append(ops, cpu.Op{Kind: cpu.OpRead, Addr: uint64(r.Target), Size: 8, Dep: slotLd, Work: workHeaderChk})
+			}
+			if r.Flags&gc.RefNewlyMarked != 0 {
+				ops = append(ops,
+					cpu.Op{Kind: cpu.OpWrite, Addr: x.begByte(r.Target), Size: 8, Dep: chk, Work: workMarkRMW},
+					cpu.Op{Kind: cpu.OpWrite, Addr: x.endByte(r.Target), Size: 8, Dep: chk, Work: 2},
+				)
+			}
+			if r.Flags&gc.RefPushed != 0 {
+				addr := uint64(inv.B) + uint64(pushes)*8
+				pushes++
+				ops = append(ops, cpu.Op{Kind: cpu.OpWrite, Addr: addr, Size: 8, Dep: chk, Work: workPushStore})
+			}
+			if r.Flags&gc.RefForwardUpdate != 0 {
+				ops = append(ops, cpu.Op{Kind: cpu.OpWrite, Addr: uint64(r.Slot), Size: 8, Dep: chk, Work: workSlotStore})
+			}
+			if r.Flags&gc.RefCardDirty != 0 {
+				ops = append(ops, cpu.Op{Kind: cpu.OpWrite, Addr: x.cardByte(r.Slot), Size: 1, Dep: chk, Work: 2})
+			}
+		}
+
+	case gc.PrimBitmapCount:
+		// Figure 8 verbatim: iterate both maps bit by bit. Reads are
+		// sequential; the per-word bit loop dominates.
+		a := uint64(inv.A)
+		for off := uint32(0); off < inv.N; off += 8 {
+			ops = append(ops,
+				cpu.Op{Kind: cpu.OpRead, Addr: a + uint64(off), Size: 8, Dep: cpu.NoDep, Work: workBitmapWord},
+				cpu.Op{Kind: cpu.OpRead, Addr: a + x.endOff + uint64(off), Size: 8, Dep: cpu.NoDep, Work: workBitmapWord},
+			)
+		}
+
+	case gc.PrimAdjust:
+		// N slot rewrites within the object at A.
+		for i := uint32(0); i < inv.N; i++ {
+			addr := uint64(inv.A) + 16 + uint64(i)*8
+			ld := int32(len(ops))
+			ops = append(ops,
+				cpu.Op{Kind: cpu.OpRead, Addr: addr, Size: 8, Dep: cpu.NoDep, Work: workAdjustSlot},
+				cpu.Op{Kind: cpu.OpWrite, Addr: addr, Size: 8, Dep: ld, Work: 2},
+			)
+		}
+		if inv.N == 0 {
+			ops = append(ops, cpu.Op{Kind: cpu.OpCompute, Dep: cpu.NoDep, Work: 4})
+		}
+
+	case gc.PrimOther:
+		if inv.A != 0 {
+			ops = append(ops, cpu.Op{Kind: cpu.OpRead, Addr: uint64(inv.A), Size: 8, Dep: cpu.NoDep, Work: inv.N})
+		} else {
+			ops = append(ops, cpu.Op{Kind: cpu.OpCompute, Dep: cpu.NoDep, Work: inv.N})
+		}
+	}
+	x.scratch = ops
+	return ops
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"charonsim/internal/exec"
+	"charonsim/internal/gc"
+	"charonsim/internal/stats"
+)
+
+// CollectorStudyResult quantifies Table 1: Charon's speedup under each of
+// HotSpot's three production collectors. ParallelScavenge and G1 use all
+// three primitives; CMS never issues Bitmap Count (no compaction).
+type CollectorStudyResult struct {
+	Workload []string
+	Modes    []gc.Mode
+	// Speedup[w][mode] of Charon over the DDR4 host.
+	Speedup map[string]map[gc.Mode]float64
+	// BitmapCountShare[w][mode]: fraction of host GC time in Bitmap Count.
+	BitmapCountShare map[string]map[gc.Mode]float64
+	// FullGCs[w][mode]: non-minor collections recorded (compactions,
+	// mark-sweeps or mixed collections respectively).
+	FullGCs map[string]map[gc.Mode]int
+	// Geomean[mode] across workloads.
+	Geomean map[gc.Mode]float64
+}
+
+// StudyModes are the collectors compared, in Table 1's order.
+var StudyModes = []gc.Mode{gc.ModePS, gc.ModeG1, gc.ModeCMS}
+
+// CollectorStudy runs each workload under each collector mode and replays
+// the logs on the DDR4 host and on Charon.
+func CollectorStudy(s *Session) (*CollectorStudyResult, error) {
+	cfg := s.Config()
+	res := &CollectorStudyResult{
+		Workload: cfg.Workloads, Modes: StudyModes,
+		Speedup:          map[string]map[gc.Mode]float64{},
+		BitmapCountShare: map[string]map[gc.Mode]float64{},
+		FullGCs:          map[string]map[gc.Mode]int{},
+		Geomean:          map[gc.Mode]float64{},
+	}
+	acc := map[gc.Mode][]float64{}
+	for _, name := range cfg.Workloads {
+		res.Speedup[name] = map[gc.Mode]float64{}
+		res.BitmapCountShare[name] = map[gc.Mode]float64{}
+		res.FullGCs[name] = map[gc.Mode]int{}
+		for _, mode := range StudyModes {
+			run, err := s.RecordMode(name, cfg.Factor, mode)
+			if err != nil {
+				return nil, err
+			}
+			base := Sum(exec.KindDDR4, s.Replay(run, exec.KindDDR4, cfg.Threads), cfg.Threads)
+			ch := Sum(exec.KindCharon, s.Replay(run, exec.KindCharon, cfg.Threads), cfg.Threads)
+			sp := base.Duration.Seconds() / ch.Duration.Seconds()
+			res.Speedup[name][mode] = sp
+			acc[mode] = append(acc[mode], sp)
+
+			var total float64
+			for _, v := range base.PrimTime {
+				total += v.Seconds()
+			}
+			if total > 0 {
+				res.BitmapCountShare[name][mode] = base.PrimTime[gc.PrimBitmapCount].Seconds() / total
+			}
+			for _, ev := range run.Col.Log {
+				if ev.Kind != gc.Minor {
+					res.FullGCs[name][mode]++
+				}
+			}
+		}
+	}
+	for _, m := range StudyModes {
+		res.Geomean[m] = stats.Geomean(acc[m])
+	}
+	return res, nil
+}
+
+// Render prints the collector comparison.
+func (r *CollectorStudyResult) Render() string {
+	cols := []string{"workload"}
+	for _, m := range r.Modes {
+		cols = append(cols, m.String()+" x", m.String()+" bc%")
+	}
+	tb := stats.NewTable("Table 1 study: Charon speedup per collector (x) and Bitmap Count share of host GC time (bc%)", cols...)
+	for _, w := range r.Workload {
+		row := []string{w}
+		for _, m := range r.Modes {
+			row = append(row,
+				fmt.Sprintf("%.2f", r.Speedup[w][m]),
+				fmt.Sprintf("%.1f", r.BitmapCountShare[w][m]*100))
+		}
+		tb.AddRow(row...)
+	}
+	row := []string{"geomean"}
+	for _, m := range r.Modes {
+		row = append(row, fmt.Sprintf("%.2f", r.Geomean[m]), "")
+	}
+	tb.AddRow(row...)
+	return tb.String()
+}

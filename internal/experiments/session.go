@@ -1,0 +1,169 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) from the simulator: each Fig*/Table* function
+// runs the required workloads, replays their recorded GC logs on the
+// relevant platforms, and returns a typed result that renders the same
+// rows/series the paper plots. DESIGN.md §3 maps each experiment to the
+// modules it exercises; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"charonsim/internal/energy"
+	"charonsim/internal/exec"
+	"charonsim/internal/gc"
+	"charonsim/internal/sim"
+	"charonsim/internal/stats"
+	"charonsim/internal/workload"
+)
+
+// Config controls an experiment session.
+type Config struct {
+	// Threads is the GC thread count (default 8, matching the 8-core host).
+	Threads int
+	// Factor is the heap overprovisioning factor (default 1.5, inside the
+	// paper's 1.25-2x policy).
+	Factor float64
+	// Workloads restricts the benchmark set (default: all six).
+	Workloads []string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 8
+	}
+	if c.Factor == 0 {
+		c.Factor = 1.5
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = workload.Names()
+	}
+	return c
+}
+
+// Run is one recorded workload execution.
+type Run struct {
+	Name    string
+	Spec    workload.Spec
+	Col     *gc.Collector
+	Env     exec.Env
+	MutTime sim.Time
+}
+
+// Session caches recorded workload runs and platform replays so that the
+// full experiment suite records each workload once.
+type Session struct {
+	cfg  Config
+	runs map[string]*Run // key: name@factor
+}
+
+// NewSession creates a session.
+func NewSession(cfg Config) *Session {
+	return &Session{cfg: cfg.withDefaults(), runs: map[string]*Run{}}
+}
+
+// Config returns the session configuration (defaults applied).
+func (s *Session) Config() Config { return s.cfg }
+
+// Record returns the recorded run for a workload at a heap factor,
+// executing it on first use.
+func (s *Session) Record(name string, factor float64) (*Run, error) {
+	return s.RecordMode(name, factor, gc.ModePS)
+}
+
+// RecordMode is Record with collector-mode selection (Table 1's three
+// collectors), for the applicability studies.
+func (s *Session) RecordMode(name string, factor float64, mode gc.Mode) (*Run, error) {
+	key := fmt.Sprintf("%s@%.3f@%v", name, factor, mode)
+	if r, ok := s.runs[key]; ok {
+		return r, nil
+	}
+	w, err := workload.New(name)
+	if err != nil {
+		return nil, err
+	}
+	col, err := workload.RunRecordedMode(w, factor, mode)
+	if err != nil {
+		return nil, fmt.Errorf("%s at %.2fx: %w", name, factor, err)
+	}
+	r := &Run{
+		Name: name, Spec: w.Spec(), Col: col,
+		Env:     exec.EnvFor(col),
+		MutTime: workload.MutatorTime(w.Spec(), col.H),
+	}
+	s.runs[key] = r
+	return r, nil
+}
+
+// Replay plays a run's full GC log on a fresh platform of the given kind,
+// returning per-event results.
+func (s *Session) Replay(r *Run, kind exec.Kind, threads int) []exec.Result {
+	p := exec.New(kind, r.Env, threads)
+	out := make([]exec.Result, 0, len(r.Col.Log))
+	for _, ev := range r.Col.Log {
+		out = append(out, p.Replay(ev, threads))
+	}
+	return out
+}
+
+// Totals aggregates replay results.
+type Totals struct {
+	Duration sim.Time
+	PrimTime [gc.NumPrims]sim.Time
+	Bytes    uint64
+	HostBusy sim.Time
+	UnitBusy sim.Time
+	Local    float64 // weighted local-access ratio
+	Energy   energy.Breakdown
+}
+
+// Sum aggregates results, weighting the local ratio by event duration and
+// computing energy on the given platform kind.
+func Sum(kind exec.Kind, results []exec.Result, ncores int) Totals {
+	var t Totals
+	var localW float64
+	for _, r := range results {
+		t.Duration += r.Duration
+		for p := range r.PrimTime {
+			t.PrimTime[p] += r.PrimTime[p]
+		}
+		t.Bytes += r.Traffic.Bytes()
+		t.HostBusy += r.HostBusy
+		t.UnitBusy += r.UnitBusy
+		localW += r.LocalRatio * r.Duration.Seconds()
+		t.Energy.Add(energy.ForGC(kind, r, ncores))
+	}
+	if t.Duration > 0 {
+		t.Local = localW / t.Duration.Seconds()
+	}
+	return t
+}
+
+// BandwidthGBs is the average memory bandwidth over the GC time.
+func (t Totals) BandwidthGBs() float64 {
+	s := t.Duration.Seconds()
+	if s == 0 {
+		return 0
+	}
+	return float64(t.Bytes) / 1e9 / s
+}
+
+// replayTotals is the common record+replay+sum path.
+func (s *Session) replayTotals(name string, kind exec.Kind, threads int) (Totals, error) {
+	r, err := s.Record(name, s.cfg.Factor)
+	if err != nil {
+		return Totals{}, err
+	}
+	return Sum(kind, s.Replay(r, kind, threads), threads), nil
+}
+
+// geomeanOf extracts a geomean across workloads from a per-workload map.
+func geomeanOf(names []string, m map[string]float64) float64 {
+	var xs []float64
+	for _, n := range names {
+		if v, ok := m[n]; ok {
+			xs = append(xs, v)
+		}
+	}
+	return stats.Geomean(xs)
+}

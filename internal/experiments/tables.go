@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"charonsim/internal/energy"
+	"charonsim/internal/stats"
+	"charonsim/internal/workload"
+)
+
+// Applicability levels for Table 1.
+type Applicability int
+
+const (
+	// NotApplicable: the collector has no use for the primitive.
+	NotApplicable Applicability = iota
+	// MinorFix: applicable with small collector-side changes.
+	MinorFix
+	// AsIs: applicable unchanged.
+	AsIs
+)
+
+// String renders the paper's check-mark notation.
+func (a Applicability) String() string {
+	switch a {
+	case AsIs:
+		return "vv"
+	case MinorFix:
+		return "v"
+	}
+	return "x"
+}
+
+// Table1Row is one collector's applicability line.
+type Table1Row struct {
+	Collector   string
+	CopySearch  Applicability
+	ScanPush    Applicability
+	BitmapCount Applicability
+	Remarks     string
+}
+
+// Table1 reproduces Table 1: applicability of Charon primitives to
+// HotSpot's production collectors.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"ParallelScavenge", MinorFix, AsIs, MinorFix, "High throughput"},
+		{"G1", AsIs, AsIs, MinorFix, "Low latency"},
+		{"CMS", AsIs, AsIs, NotApplicable, "No compaction"},
+	}
+}
+
+// RenderTable1 prints the matrix.
+func RenderTable1() string {
+	tb := stats.NewTable("Table 1: applicability of Charon primitives (vv as-is, v minor fix, x n/a)",
+		"collector", "Copy/Search", "Scan&Push", "BitmapCount", "remarks")
+	for _, r := range Table1() {
+		tb.AddRow(r.Collector, r.CopySearch.String(), r.ScanPush.String(), r.BitmapCount.String(), r.Remarks)
+	}
+	return tb.String()
+}
+
+// RenderTable2 prints the architectural parameters actually configured in
+// this simulator (Table 2 of the paper).
+func RenderTable2() string {
+	tb := stats.NewTable("Table 2: architectural parameters (as configured)", "component", "value")
+	rows := [][2]string{
+		{"Host cores", "8 x 2.67 GHz OoO, 36-entry window, 4-way issue, 10 MSHRs"},
+		{"L1D", "32KB 8-way 4cyc"},
+		{"L2", "256KB 8-way 12cyc"},
+		{"L3 (shared)", "8MB 16-way 28cyc"},
+		{"DDR4", "2 ch x 4 ranks x 8 banks; tCK 0.937ns; tRAS 35ns; tRCD/tCAS/tRP 13.5ns; 34 GB/s"},
+		{"HMC", "4 cubes x 32 vaults; tCK 1.6ns; tRAS 22.4ns; tRCD/tCAS/tRP 11.2ns; 320 GB/s per cube"},
+		{"HMC links", "80 GB/s per link, 3ns latency, star topology"},
+		{"Charon Copy/Search", "8 units (2 per cube), 256B streaming"},
+		{"Charon Bitmap Count", "8 units (2 per cube), 8B/cycle subtract+popcount"},
+		{"Charon Scan&Push", "8 units (central cube)"},
+		{"Bitmap cache", "8KB 8-way 32B blocks"},
+		{"MAI", "32 entries per cube"},
+		{"Offload packets", "48B request; 16B/32B response"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r[0], r[1])
+	}
+	return tb.String()
+}
+
+// RenderTable3 prints the workload table (Table 3), including the scaled
+// heap sizes this reproduction uses.
+func RenderTable3() string {
+	tb := stats.NewTable("Table 3: workloads", "name", "framework", "benchmark", "dataset", "paper heap", "scaled min heap")
+	for _, w := range workload.All() {
+		sp := w.Spec()
+		tb.AddRow(sp.Name, sp.Framework, sp.Long, sp.Dataset, sp.PaperHeap,
+			fmt.Sprintf("%dMB", sp.MinHeapBytes>>20))
+	}
+	return tb.String()
+}
+
+// RenderTable4 prints the area model (Table 4).
+func RenderTable4() string {
+	tb := stats.NewTable("Table 4: Charon area (TSMC 40nm / CACTI 45nm model)",
+		"component", "per-unit mm2", "units", "total mm2")
+	for _, r := range energy.AreaTable() {
+		tb.AddRow(r.Component, fmt.Sprintf("%.4f", r.PerUnitMM2),
+			fmt.Sprintf("%d", r.Units), fmt.Sprintf("%.4f", r.TotalMM2))
+	}
+	tb.AddRow("total", "", "", fmt.Sprintf("%.4f", energy.TotalArea()))
+	tb.AddRow("per cube", "", "", fmt.Sprintf("%.4f", energy.AreaPerCube()))
+	tb.AddRow("logic-layer share", "", "", fmt.Sprintf("%.2f%%", energy.AreaFraction()*100))
+	return tb.String()
+}
+
+// ThermalResult is the Section 5.3 power-density analysis.
+type ThermalResult struct {
+	AvgPowerW    float64
+	MaxPowerW    float64
+	MaxWork      string
+	DensityMWMM2 float64
+}
+
+// Thermal derives the accelerator's power and power density from Figure
+// 17's measurements (paper: 2.98 W average, 4.51 W max, 45.1 mW/mm²).
+func Thermal(s *Session) (*ThermalResult, error) {
+	f17, err := Fig17(s)
+	if err != nil {
+		return nil, err
+	}
+	return &ThermalResult{
+		AvgPowerW:    f17.CharonAvgPowerW,
+		MaxPowerW:    f17.CharonMaxPowerW,
+		MaxWork:      f17.MaxPowerWork,
+		DensityMWMM2: energy.PowerDensity(f17.CharonMaxPowerW),
+	}, nil
+}
+
+// Render prints the thermal summary.
+func (t *ThermalResult) Render() string {
+	tb := stats.NewTable("Section 5.3: Charon power and thermal analysis", "metric", "value")
+	tb.AddRow("average power", fmt.Sprintf("%.2f W", t.AvgPowerW))
+	tb.AddRow("maximum power", fmt.Sprintf("%.2f W (%s)", t.MaxPowerW, t.MaxWork))
+	tb.AddRow("max power density", fmt.Sprintf("%.1f mW/mm2", t.DensityMWMM2))
+	return tb.String()
+}

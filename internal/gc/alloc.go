@@ -1,0 +1,62 @@
+package gc
+
+import "charonsim/internal/heap"
+
+// AllocInstance allocates an instance, collecting on allocation failure
+// like the JVM's slow path: MinorGC first (with the promotion-guarantee
+// MajorGC if needed), then a last-ditch MajorGC. Returns 0 on OOM.
+func (c *Collector) AllocInstance(k *heap.Klass) heap.Addr {
+	if a := c.H.AllocInstance(k); a != 0 {
+		return a
+	}
+	c.Collect("alloc-failure")
+	if c.OOM {
+		return 0
+	}
+	if a := c.H.AllocInstance(k); a != 0 {
+		return a
+	}
+	c.fullGC("alloc-failure-full")
+	if c.OOM {
+		return 0
+	}
+	return c.H.AllocInstance(k)
+}
+
+// fullGC is the last-ditch collection: the mode's preferred full
+// collection first, then a compacting MajorGC if space is still
+// insufficient.
+func (c *Collector) fullGC(reason string) {
+	switch c.Mode {
+	case ModeCMS:
+		c.MarkSweepGC(reason)
+	case ModeG1:
+		c.MixedGC(reason)
+	default:
+		c.MajorGC(reason)
+		return
+	}
+	if c.H.Eden.Free() > 0 && c.oldAvailable() > 0 {
+		return
+	}
+	c.MajorGC(reason)
+}
+
+// AllocArray allocates an array with the same collection policy.
+func (c *Collector) AllocArray(k *heap.Klass, length int) heap.Addr {
+	if a := c.H.AllocArray(k, length); a != 0 {
+		return a
+	}
+	c.Collect("alloc-failure")
+	if c.OOM {
+		return 0
+	}
+	if a := c.H.AllocArray(k, length); a != 0 {
+		return a
+	}
+	c.fullGC("alloc-failure-full")
+	if c.OOM {
+		return 0
+	}
+	return c.H.AllocArray(k, length)
+}

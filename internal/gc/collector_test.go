@@ -1,0 +1,728 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"charonsim/internal/heap"
+)
+
+// Signature sentinels (values that cannot collide with klass ids/stamps in
+// these tests because they exceed any value the fixtures write).
+const (
+	sigNull    = ^uint64(0)
+	sigBackref = ^uint64(1)
+)
+
+// fixture builds a heap+collector with a small type universe. Node has two
+// reference fields (offsets 2,3) and two data words (4,5).
+type fixture struct {
+	h    *heap.Heap
+	c    *Collector
+	node *heap.Klass
+	arr  *heap.Klass
+	data *heap.Klass // long[]
+}
+
+func newFixture(heapBytes uint64) *fixture {
+	tbl := heap.NewTable()
+	node := tbl.Define(heap.Klass{Name: "Node", Kind: heap.KindInstance, InstanceWords: 6, RefOffsets: []int32{2, 3}})
+	arr := tbl.Define(heap.Klass{Name: "Object[]", Kind: heap.KindObjArray})
+	data := tbl.Define(heap.Klass{Name: "long[]", Kind: heap.KindTypeArray, ElemBytes: 8})
+	h := heap.New(heap.DefaultConfig(heapBytes), tbl)
+	c := New(h)
+	c.Recording = true
+	return &fixture{h: h, c: c, node: node, arr: arr, data: data}
+}
+
+var stampCounter uint64
+
+// newNode allocates a Node with a unique stamp in its first data word.
+func (f *fixture) newNode(t *testing.T) heap.Addr {
+	t.Helper()
+	a := f.c.AllocInstance(f.node)
+	if a == 0 {
+		t.Fatal("allocation failed")
+	}
+	stampCounter++
+	f.h.SetWord(a+4*heap.WordBytes, stampCounter)
+	return a
+}
+
+// signature computes a canonical fingerprint of the reachable graph: DFS
+// from roots in slot order, emitting klass ids, stamps, array lengths and
+// back-reference structure. GC must preserve it exactly.
+func (f *fixture) signature() []uint64 {
+	var sig []uint64
+	index := map[heap.Addr]uint64{}
+	var walk func(a heap.Addr)
+	walk = func(a heap.Addr) {
+		if a == 0 {
+			sig = append(sig, sigNull)
+			return
+		}
+		if id, ok := index[a]; ok {
+			sig = append(sig, sigBackref, id)
+			return
+		}
+		index[a] = uint64(len(index) + 1)
+		k := f.h.KlassOf(a)
+		sig = append(sig, uint64(k.ID))
+		if k.IsArray() {
+			sig = append(sig, uint64(f.h.ArrayLen(a)))
+		}
+		if k.Kind == heap.KindTypeArray {
+			for w := heap.HeaderWords; w < f.h.SizeWords(a); w++ {
+				sig = append(sig, f.h.Word(a+heap.Addr(w*heap.WordBytes)))
+			}
+			return
+		}
+		if k == f.node {
+			sig = append(sig, f.h.Word(a+4*heap.WordBytes))
+		}
+		f.h.IterateRefSlots(a, func(slot heap.Addr) {
+			walk(heap.Addr(f.h.Word(slot)))
+		})
+	}
+	for _, r := range f.h.Roots() {
+		walk(r)
+	}
+	return sig
+}
+
+func sigEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- MinorGC ------------------------------------------------------------------
+
+func TestMinorGCPreservesReachableGraph(t *testing.T) {
+	f := newFixture(4 << 20)
+	// Linked list of 10 nodes, rooted; plus garbage.
+	head := f.newNode(t)
+	f.h.AddRoot(head)
+	prev := head
+	for i := 0; i < 9; i++ {
+		n := f.newNode(t)
+		f.h.StoreRef(prev, 2, n)
+		prev = n
+	}
+	for i := 0; i < 50; i++ {
+		f.newNode(t) // garbage
+	}
+	before := f.signature()
+
+	ev := f.c.MinorGC("test")
+
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("MinorGC changed the reachable graph")
+	}
+	if f.h.Eden.Used() != 0 {
+		t.Fatal("eden not emptied")
+	}
+	if ev.LiveObjects != 10 {
+		t.Fatalf("live objects = %d, want 10", ev.LiveObjects)
+	}
+	if ev.ReclaimedBytes == 0 {
+		t.Fatal("no garbage reclaimed")
+	}
+	// Root updated to the new location.
+	if f.h.Eden.Contains(f.h.Root(0)) {
+		t.Fatal("root still points into eden")
+	}
+}
+
+func TestMinorGCCopiesToSurvivor(t *testing.T) {
+	f := newFixture(4 << 20)
+	a := f.newNode(t)
+	f.h.AddRoot(a)
+	f.c.MinorGC("test")
+	na := f.h.Root(0)
+	if !f.h.From.Contains(na) {
+		t.Fatalf("survivor copy at %#x not in from-space (after swap)", na)
+	}
+	if f.h.Age(na) != 1 {
+		t.Fatalf("age = %d, want 1", f.h.Age(na))
+	}
+}
+
+func TestMinorGCReclaimsGarbage(t *testing.T) {
+	f := newFixture(4 << 20)
+	for i := 0; i < 100; i++ {
+		f.newNode(t)
+	}
+	used := f.h.Eden.Used()
+	ev := f.c.MinorGC("test")
+	if ev.ReclaimedBytes != used {
+		t.Fatalf("reclaimed %d, want %d", ev.ReclaimedBytes, used)
+	}
+	if ev.LiveObjects != 0 || ev.CopiedBytes != 0 {
+		t.Fatal("garbage was copied")
+	}
+}
+
+func TestAgingAndPromotion(t *testing.T) {
+	f := newFixture(4 << 20)
+	a := f.newNode(t)
+	f.h.AddRoot(a)
+	tenure := f.h.Config().TenureAge
+	for i := 0; i < tenure; i++ {
+		if f.h.InOld(f.h.Root(0)) {
+			break
+		}
+		f.c.MinorGC("age")
+	}
+	if !f.h.InOld(f.h.Root(0)) {
+		t.Fatalf("object not promoted after %d minor GCs", tenure)
+	}
+	if f.c.Stats.PromotedBytes == 0 {
+		t.Fatal("promotion not counted")
+	}
+}
+
+func TestCardTableKeepsOldToYoungAlive(t *testing.T) {
+	f := newFixture(4 << 20)
+	// Promote a holder into old gen.
+	holder := f.newNode(t)
+	ridx := f.h.AddRoot(holder)
+	f.h.SetAge(holder, 31)
+	f.c.MinorGC("promote")
+	holder = f.h.Root(ridx)
+	if !f.h.InOld(holder) {
+		t.Fatal("holder not promoted")
+	}
+
+	// Store a young object only reachable through the old holder.
+	young := f.newNode(t)
+	stamp := f.h.Word(young + 4*heap.WordBytes)
+	f.h.StoreRef(holder, 2, young)
+	if f.c.Cards.DirtyMarks == 0 {
+		t.Fatal("write barrier did not dirty a card")
+	}
+
+	ev := f.c.MinorGC("card")
+	got := f.h.LoadRef(holder, 2)
+	if got == young || got == 0 {
+		t.Fatalf("old-to-young slot not updated: %#x", got)
+	}
+	if f.h.Word(got+4*heap.WordBytes) != stamp {
+		t.Fatal("young object contents lost")
+	}
+	if ev.LiveObjects == 0 {
+		t.Fatal("card-reachable object not counted live")
+	}
+	// The Search primitive must have been recorded.
+	counts := ev.CountByPrim()
+	if counts[PrimSearch] == 0 {
+		t.Fatal("no Search invocations recorded")
+	}
+}
+
+func TestMinorGCCyclicGraph(t *testing.T) {
+	f := newFixture(4 << 20)
+	a := f.newNode(t)
+	b := f.newNode(t)
+	f.h.StoreRef(a, 2, b)
+	f.h.StoreRef(b, 2, a) // cycle
+	f.h.StoreRef(b, 3, b) // self-loop
+	f.h.AddRoot(a)
+	before := f.signature()
+	f.c.MinorGC("cycle")
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("cycle not preserved")
+	}
+}
+
+func TestMinorGCSharedObjectCopiedOnce(t *testing.T) {
+	f := newFixture(4 << 20)
+	shared := f.newNode(t)
+	a := f.newNode(t)
+	b := f.newNode(t)
+	f.h.StoreRef(a, 2, shared)
+	f.h.StoreRef(b, 2, shared)
+	f.h.AddRoot(a)
+	f.h.AddRoot(b)
+	ev := f.c.MinorGC("shared")
+	if ev.LiveObjects != 3 {
+		t.Fatalf("live = %d, want 3 (shared object copied once)", ev.LiveObjects)
+	}
+	if f.h.LoadRef(f.h.Root(0), 2) != f.h.LoadRef(f.h.Root(1), 2) {
+		t.Fatal("shared object identity lost")
+	}
+}
+
+func TestObjArraysSurviveMinor(t *testing.T) {
+	f := newFixture(4 << 20)
+	arr := f.c.AllocArray(f.arr, 20)
+	for i := 0; i < 20; i++ {
+		n := f.newNode(t)
+		f.h.StoreRef(arr, heap.HeaderWords+i, n)
+	}
+	f.h.AddRoot(arr)
+	before := f.signature()
+	ev := f.c.MinorGC("arr")
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("array graph not preserved")
+	}
+	if ev.LiveObjects != 21 {
+		t.Fatalf("live = %d, want 21", ev.LiveObjects)
+	}
+}
+
+// --- MajorGC ------------------------------------------------------------------
+
+// fillOldWithGarbage promotes a batch of nodes then drops them.
+func fillOldWithGarbage(t *testing.T, f *fixture, n int) {
+	t.Helper()
+	hold := f.c.AllocArray(f.arr, n)
+	ridx := f.h.AddRoot(hold)
+	for i := 0; i < n; i++ {
+		x := f.newNode(t) // may GC and move the holder: reload it
+		hold = f.h.Root(ridx)
+		f.h.SetAge(x, 31)
+		f.h.StoreRef(hold, heap.HeaderWords+i, x)
+	}
+	f.h.SetAge(f.h.Root(ridx), 31)
+	f.c.MinorGC("promote-garbage")
+	f.h.SetRoot(ridx, 0) // all garbage now
+}
+
+func TestMajorGCCompactsAndPreserves(t *testing.T) {
+	f := newFixture(8 << 20)
+	fillOldWithGarbage(t, f, 200)
+
+	// Live graph: partially old, partially young.
+	head := f.newNode(t)
+	f.h.AddRoot(head)
+	prev := head
+	for i := 0; i < 30; i++ {
+		n := f.newNode(t)
+		f.h.StoreRef(prev, 2, n)
+		prev = n
+	}
+	before := f.signature()
+	oldUsedBefore := f.h.Old.Used()
+
+	ev := f.c.MajorGC("test")
+
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("MajorGC changed the reachable graph")
+	}
+	if f.h.Old.Used() >= oldUsedBefore {
+		t.Fatalf("old gen not shrunk: %d -> %d", oldUsedBefore, f.h.Old.Used())
+	}
+	if f.h.Eden.Used() != 0 || f.h.From.Used() != 0 || f.h.To.Used() != 0 {
+		t.Fatal("young spaces not emptied by full GC")
+	}
+	if ev.ReclaimedBytes == 0 {
+		t.Fatal("nothing reclaimed")
+	}
+	// All live objects are now in old gen, packed from the base.
+	if f.h.Old.Used() != ev.LiveBytes {
+		t.Fatalf("old usage %d != live bytes %d (holes?)", f.h.Old.Used(), ev.LiveBytes)
+	}
+}
+
+func TestMajorGCOldGenIsDenseWalkable(t *testing.T) {
+	f := newFixture(8 << 20)
+	fillOldWithGarbage(t, f, 100)
+	keep := f.c.AllocArray(f.arr, 50)
+	kidx := f.h.AddRoot(keep)
+	for i := 0; i < 50; i++ {
+		n := f.newNode(t)
+		f.h.StoreRef(f.h.Root(kidx), heap.HeaderWords+i, n)
+	}
+	f.c.MajorGC("dense")
+
+	var walked uint64
+	count := 0
+	f.h.WalkSpace(f.h.Old, func(a heap.Addr) {
+		walked += uint64(f.h.SizeWords(a) * heap.WordBytes)
+		count++
+	})
+	if walked != f.h.Old.Used() {
+		t.Fatalf("walked %d bytes vs used %d", walked, f.h.Old.Used())
+	}
+	if count != 51 {
+		t.Fatalf("old gen holds %d objects, want 51", count)
+	}
+}
+
+func TestMajorGCRecordsAllPrimitives(t *testing.T) {
+	f := newFixture(8 << 20)
+	fillOldWithGarbage(t, f, 100)
+	keep := f.newNode(t)
+	f.h.AddRoot(keep)
+	f.h.StoreRef(keep, 2, f.newNode(t))
+	ev := f.c.MajorGC("prims")
+	counts := ev.CountByPrim()
+	if counts[PrimScanPush] == 0 {
+		t.Fatal("no Scan&Push in mark phase")
+	}
+	if counts[PrimBitmapCount] == 0 {
+		t.Fatal("no Bitmap Count in summary/compact")
+	}
+	if counts[PrimCopy] == 0 {
+		t.Fatal("no Copy in compaction")
+	}
+	if counts[PrimAdjust] == 0 {
+		t.Fatal("no pointer adjustment recorded")
+	}
+	// Copy invocation bytes must equal the event's copied bytes.
+	bytes := ev.BytesByPrim()
+	if bytes[PrimCopy] != ev.CopiedBytes {
+		t.Fatalf("copy bytes %d != event copied %d", bytes[PrimCopy], ev.CopiedBytes)
+	}
+}
+
+func TestMajorGCHandlesCycles(t *testing.T) {
+	f := newFixture(8 << 20)
+	a := f.newNode(t)
+	b := f.newNode(t)
+	c := f.newNode(t)
+	f.h.StoreRef(a, 2, b)
+	f.h.StoreRef(b, 2, c)
+	f.h.StoreRef(c, 2, a)
+	f.h.AddRoot(a)
+	before := f.signature()
+	ev := f.c.MajorGC("cycles")
+	if ev.LiveObjects != 3 {
+		t.Fatalf("live = %d, want 3", ev.LiveObjects)
+	}
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("cycle broken by compaction")
+	}
+}
+
+func TestMinorAfterMajorCardsConsistent(t *testing.T) {
+	f := newFixture(8 << 20)
+	fillOldWithGarbage(t, f, 50)
+	holder := f.newNode(t)
+	ridx := f.h.AddRoot(holder)
+	f.h.SetAge(holder, 31)
+	f.c.MinorGC("promote")
+	holder = f.h.Root(ridx)
+
+	f.c.MajorGC("full")
+	holder = f.h.Root(ridx)
+	if !f.h.InOld(holder) {
+		t.Fatal("holder lost by major GC")
+	}
+
+	// New old-to-young ref after the full GC must still be tracked.
+	young := f.newNode(t)
+	f.h.StoreRef(holder, 3, young)
+	f.c.MinorGC("after-major")
+	if got := f.h.LoadRef(holder, 3); got == 0 || f.h.Eden.Contains(got) {
+		t.Fatalf("post-major card tracking broken: slot=%#x", got)
+	}
+}
+
+// --- OOM / guarantees -----------------------------------------------------------
+
+func TestOOMLatchedWhenLiveExceedsOld(t *testing.T) {
+	f := newFixture(1 << 20)
+	// Keep everything alive until allocation fails.
+	spine := f.c.AllocArray(f.arr, 16000)
+	if spine == 0 {
+		t.Fatal("spine alloc failed immediately")
+	}
+	sidx := f.h.AddRoot(spine)
+	i := 0
+	for ; i < 16000; i++ {
+		n := f.c.AllocInstance(f.node)
+		if n == 0 {
+			break
+		}
+		f.h.StoreRef(f.h.Root(sidx), heap.HeaderWords+i, n)
+	}
+	if !f.c.OOM {
+		t.Fatal("OOM not latched")
+	}
+	if i == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+	if f.c.AllocInstance(f.node) != 0 {
+		t.Fatal("allocation succeeded after OOM")
+	}
+}
+
+func TestPromotionGuaranteeTriggersMajor(t *testing.T) {
+	f := newFixture(2 << 20)
+	// Nearly fill old gen with live data so a minor GC can't guarantee
+	// promotion space.
+	spineLen := int(f.h.Old.Capacity()/16/8) / 2
+	spine := f.c.AllocArray(f.arr, 64)
+	sidx := f.h.AddRoot(spine)
+	for i := 0; i < 64 && i < spineLen; i++ {
+		d := f.c.AllocArray(f.data, 1500)
+		if d == 0 {
+			break
+		}
+		f.h.SetAge(d, 31)
+		f.h.StoreRef(f.h.Root(sidx), heap.HeaderWords+i, d)
+	}
+	f.h.SetAge(f.h.Root(sidx), 31)
+	f.c.MinorGC("promote-bulk")
+	majorsBefore := f.c.Stats.Majors
+	// Churn until a Collect() call needs the guarantee.
+	for i := 0; i < 200 && f.c.Stats.Majors == majorsBefore && !f.c.OOM; i++ {
+		f.c.AllocArray(f.data, 2000)
+	}
+	if f.c.Stats.Majors == majorsBefore {
+		t.Skip("old gen never filled enough to trigger the guarantee on this sizing")
+	}
+}
+
+// --- Property-based -------------------------------------------------------------
+
+// TestRandomGraphGCInvariant is the central property test: arbitrary
+// object graphs with arbitrary mutation and GC interleavings preserve the
+// reachable graph signature through any sequence of collections.
+func TestRandomGraphGCInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := newFixture(4 << 20)
+		var nodes []heap.Addr
+
+		// Root array anchors a random subset. GC moves it: always reload
+		// from the root, exactly as a mutator would.
+		sidx := f.h.AddRoot(f.c.AllocArray(f.arr, 32))
+		spine := func() heap.Addr { return f.h.Root(sidx) }
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // allocate node, maybe anchor it
+				n := f.c.AllocInstance(f.node)
+				if n == 0 {
+					return !f.c.OOM // OOM not expected at this sizing
+				}
+				f.h.SetWord(n+4*heap.WordBytes, rng.Uint64()>>8)
+				if rng.Intn(3) == 0 {
+					f.h.StoreRef(spine(), heap.HeaderWords+rng.Intn(32), n)
+				}
+				nodes = append(nodes, n)
+			case 4, 5, 6: // random link between anchored nodes
+				if len(nodes) >= 2 {
+					i, j := rng.Intn(32), rng.Intn(32)
+					a := f.h.LoadRef(spine(), heap.HeaderWords+i)
+					b := f.h.LoadRef(spine(), heap.HeaderWords+j)
+					if a != 0 {
+						f.h.StoreRef(a, 2+rng.Intn(2), b)
+					}
+				}
+			case 7: // drop an anchor
+				f.h.StoreRef(spine(), heap.HeaderWords+rng.Intn(32), 0)
+			case 8: // minor GC
+				before := f.signature()
+				f.c.MinorGC("prop")
+				if !sigEqual(before, f.signature()) {
+					return false
+				}
+				nodes = nodes[:0] // addresses stale after GC
+			case 9: // major GC
+				before := f.signature()
+				f.c.MajorGC("prop")
+				if !sigEqual(before, f.signature()) {
+					return false
+				}
+				nodes = nodes[:0]
+			}
+		}
+		// Final full check.
+		before := f.signature()
+		f.c.MajorGC("final")
+		f.c.MinorGC("final")
+		return sigEqual(before, f.signature())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReachableHelper(t *testing.T) {
+	f := newFixture(4 << 20)
+	a := f.newNode(t)
+	b := f.newNode(t)
+	f.newNode(t) // garbage
+	f.h.StoreRef(a, 2, b)
+	f.h.AddRoot(a)
+	r := f.c.Reachable()
+	if len(r) != 2 || !r[a] || !r[b] {
+		t.Fatalf("reachable = %v", r)
+	}
+	if f.c.LiveBytes() != uint64(2*6*heap.WordBytes) {
+		t.Fatalf("live bytes = %d", f.c.LiveBytes())
+	}
+}
+
+func TestRecordingDisabled(t *testing.T) {
+	f := newFixture(4 << 20)
+	f.c.Recording = false
+	a := f.newNode(t)
+	f.h.AddRoot(a)
+	ev := f.c.MinorGC("quiet")
+	if len(ev.Invocations) != 0 || len(ev.Refs) != 0 {
+		t.Fatal("recording happened while disabled")
+	}
+	if ev.LiveObjects != 1 {
+		t.Fatal("functional stats missing when not recording")
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	f := newFixture(4 << 20)
+	a := f.newNode(t)
+	f.h.AddRoot(a)
+	f.c.MinorGC("one")
+	f.c.MajorGC("two")
+	if len(f.c.Log) != 2 {
+		t.Fatalf("log length %d", len(f.c.Log))
+	}
+	if f.c.Log[0].Kind != Minor || f.c.Log[1].Kind != Major {
+		t.Fatal("log kinds wrong")
+	}
+	if f.c.Log[0].Seq >= f.c.Log[1].Seq {
+		t.Fatal("sequence numbers not increasing")
+	}
+}
+
+func TestPrimStringAndOffloadable(t *testing.T) {
+	if PrimCopy.String() != "Copy" || PrimBitmapCount.String() != "BitmapCount" {
+		t.Fatal("prim names")
+	}
+	for _, p := range []Prim{PrimCopy, PrimSearch, PrimScanPush, PrimBitmapCount} {
+		if !p.Offloadable() {
+			t.Fatalf("%v should be offloadable", p)
+		}
+	}
+	if PrimAdjust.Offloadable() || PrimOther.Offloadable() {
+		t.Fatal("non-offloadable prims misclassified")
+	}
+	if Minor.String() != "minor" || Major.String() != "major" {
+		t.Fatal("kind names")
+	}
+}
+
+func BenchmarkMinorGC(b *testing.B) {
+	f := newFixture(16 << 20)
+	head := f.c.AllocInstance(f.node)
+	f.h.AddRoot(head)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for f.h.Eden.Free() > 1<<16 {
+			f.c.AllocInstance(f.node)
+		}
+		f.c.MinorGC("bench")
+	}
+}
+
+func BenchmarkMajorGC(b *testing.B) {
+	f := newFixture(16 << 20)
+	spine := f.c.AllocArray(f.arr, 1000)
+	f.h.AddRoot(spine)
+	for i := 0; i < 1000; i++ {
+		n := f.c.AllocInstance(f.node)
+		f.h.SetAge(n, 31)
+		f.h.StoreRef(spine, heap.HeaderWords+i, n)
+	}
+	f.h.SetAge(spine, 31)
+	f.c.MinorGC("setup")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.c.MajorGC("bench")
+	}
+}
+
+func TestMajorGCRegionSpanningObjects(t *testing.T) {
+	// Regression: objects larger than the 4KB summary region (or straddling
+	// a region boundary) are counted by neither adjacent region under
+	// Figure 8's paired-bit semantics; destinations must still be exact
+	// (HotSpot's partial_obj_size). A large array between small live
+	// objects used to produce colliding destinations that compacted one
+	// object over another.
+	f := newFixture(16 << 20)
+	keep := f.c.AllocArray(f.arr, 8)
+	kidx := f.h.AddRoot(keep)
+	for i := 0; i < 8; i++ {
+		// Alternate small nodes and multi-region arrays, all live.
+		var o heap.Addr
+		if i%2 == 0 {
+			o = f.c.AllocInstance(f.node)
+			stampCounter++
+			f.h.SetWord(o+4*heap.WordBytes, stampCounter)
+		} else {
+			o = f.c.AllocArray(f.data, 3000) // 24KB: spans ~6 regions
+			f.h.SetWord(o+2*heap.WordBytes, 0xabc0+uint64(i))
+		}
+		f.h.StoreRef(f.h.Root(kidx), heap.HeaderWords+i, o)
+	}
+	// Interleave garbage so live objects are scattered.
+	for i := 0; i < 40; i++ {
+		f.c.AllocArray(f.data, 700)
+	}
+	before := f.signature()
+	f.c.MajorGC("span")
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("region-spanning compaction corrupted the graph")
+	}
+	// And survive a second full GC (catches latent bitmap residue).
+	f.c.MajorGC("span2")
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("second compaction corrupted the graph")
+	}
+}
+
+func TestVerifyHeapCleanAfterEveryGCKind(t *testing.T) {
+	f := newFixture(8 << 20)
+	fillOldWithGarbage(t, f, 100)
+	keep := f.c.AllocArray(f.arr, 30)
+	kidx := f.h.AddRoot(keep)
+	for i := 0; i < 30; i++ {
+		n := f.newNode(t)
+		f.h.StoreRef(f.h.Root(kidx), heap.HeaderWords+i, n)
+	}
+	if err := f.c.VerifyHeap(); err != nil {
+		t.Fatalf("pre-GC: %v", err)
+	}
+	f.c.MinorGC("v1")
+	if err := f.c.VerifyHeap(); err != nil {
+		t.Fatalf("after minor: %v", err)
+	}
+	f.c.MajorGC("v2")
+	if err := f.c.VerifyHeap(); err != nil {
+		t.Fatalf("after major: %v", err)
+	}
+	f.c.MarkSweepGC("v3")
+	if err := f.c.VerifyHeap(); err != nil {
+		t.Fatalf("after mark-sweep: %v", err)
+	}
+}
+
+func TestVerifyHeapDetectsCorruption(t *testing.T) {
+	f := newFixture(4 << 20)
+	a := f.newNode(t)
+	f.h.AddRoot(a)
+	// Plant a dangling reference past eden's top.
+	f.h.StoreRef(a, 2, f.h.Eden.Top+64)
+	if err := f.c.VerifyHeap(); err == nil {
+		t.Fatal("dangling reference not detected")
+	}
+	// Repair, then corrupt a klass word.
+	f.h.StoreRef(a, 2, 0)
+	b := f.newNode(t)
+	f.h.StoreRef(a, 2, b)
+	f.h.SetWord(b+8, 0) // klass id 0 = invalid
+	if err := f.c.VerifyHeap(); err == nil {
+		t.Fatal("corrupt klass not detected")
+	}
+}

@@ -1,0 +1,201 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+
+	"charonsim/internal/heap"
+)
+
+func newG1Fixture(heapBytes uint64) *fixture {
+	f := newFixture(heapBytes)
+	f.c.Mode = ModeG1
+	return f
+}
+
+// buildG1OldGen promotes nLive live nodes and nDead soon-dead arrays in
+// alternating batches (one MinorGC each), so live and dead data stripe
+// across the old generation's regions — some regions end up mostly
+// garbage with live islands, the layout mixed collections exist for.
+func buildG1OldGen(t *testing.T, f *fixture, nLive, nDead int) (keepIdx int) {
+	t.Helper()
+	keep := f.c.AllocArray(f.arr, nLive)
+	keepIdx = f.h.AddRoot(keep)
+	trash := f.c.AllocArray(f.arr, nDead)
+	tidx := f.h.AddRoot(trash)
+	f.h.SetAge(f.h.Root(keepIdx), 31)
+	f.h.SetAge(f.h.Root(tidx), 31)
+
+	const batches = 10
+	li, di := 0, 0
+	for b := 0; b < batches; b++ {
+		for i := 0; i < nLive/batches && li < nLive; i++ {
+			n := f.newNode(t)
+			f.h.SetAge(n, 31)
+			f.h.StoreRef(f.h.Root(keepIdx), heap.HeaderWords+li, n)
+			li++
+		}
+		for i := 0; i < nDead/batches && di < nDead; i++ {
+			d := f.c.AllocArray(f.data, 60) // ~496B of future garbage
+			f.h.SetAge(d, 31)
+			f.h.StoreRef(f.h.Root(tidx), heap.HeaderWords+di, d)
+			di++
+		}
+		f.c.MinorGC("promote-batch")
+	}
+	f.h.SetRoot(tidx, 0) // the dead set becomes garbage
+	return keepIdx
+}
+
+func TestMixedGCReclaimsGarbageFirstRegions(t *testing.T) {
+	f := newG1Fixture(8 << 20)
+	buildG1OldGen(t, f, 200, 2000)
+	before := f.signature()
+	freeBefore := f.c.oldAvailable()
+
+	ev := f.c.MixedGC("test")
+
+	if ev.Kind != MajorG1 || ev.Kind.String() != "mixed" {
+		t.Fatalf("kind %v", ev.Kind)
+	}
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("mixed GC changed the reachable graph")
+	}
+	if f.c.oldAvailable() <= freeBefore {
+		t.Fatalf("no space reclaimed: %d -> %d", freeBefore, f.c.oldAvailable())
+	}
+	if ev.CopiedBytes == 0 {
+		t.Fatal("no evacuation happened")
+	}
+	if err := f.c.VerifyHeap(); err != nil {
+		t.Fatalf("heap inconsistent after mixed GC: %v", err)
+	}
+}
+
+func TestMixedGCRecordsAllTableOnePrimitives(t *testing.T) {
+	// Table 1 row G1: Copy/Search, Scan&Push and Bitmap Count all apply.
+	f := newG1Fixture(8 << 20)
+	buildG1OldGen(t, f, 150, 1500)
+	ev := f.c.MixedGC("prims")
+	counts := ev.CountByPrim()
+	for _, p := range []Prim{PrimCopy, PrimSearch, PrimScanPush, PrimBitmapCount} {
+		if counts[p] == 0 {
+			t.Fatalf("mixed GC recorded no %v invocations (Table 1 says G1 uses it)", p)
+		}
+	}
+}
+
+func TestMixedGCEvacuatesGarbageRichRegionsOnly(t *testing.T) {
+	f := newG1Fixture(8 << 20)
+	buildG1OldGen(t, f, 400, 1200)
+	oldTopBefore := f.h.Old.Top
+	ev := f.c.MixedGC("selective")
+	// Evacuation is incremental: copied bytes are bounded by the CSet cap,
+	// far below a full compaction of the live set.
+	if ev.CopiedBytes > uint64(G1MaxCSetRegions*G1RegionBytes) {
+		t.Fatalf("copied %d bytes exceeds the CSet bound", ev.CopiedBytes)
+	}
+	// Non-moving outside the CSet: the bump frontier may grow (evacuation
+	// destinations) but never shrinks (no full compaction).
+	if f.h.Old.Top < oldTopBefore {
+		t.Fatal("mixed GC compacted the whole old gen")
+	}
+}
+
+func TestMixedGCThenMinorGCCardsConsistent(t *testing.T) {
+	// An evacuated object with an old-to-young reference must keep its
+	// referent alive through the next scavenge.
+	f := newG1Fixture(8 << 20)
+	buildG1OldGen(t, f, 100, 1800)
+	keepIdx := 0 // first root added by buildG1OldGen
+
+	// Give one live old node a young referent.
+	young := f.newNode(t)
+	stamp := f.h.Word(young + 4*heap.WordBytes)
+	holder := f.h.LoadRef(f.h.Root(keepIdx), heap.HeaderWords+3)
+	f.h.StoreRef(holder, 2, young)
+
+	f.c.MixedGC("move-holder")
+	f.c.MinorGC("scavenge")
+
+	holder = f.h.LoadRef(f.h.Root(keepIdx), heap.HeaderWords+3)
+	got := f.h.LoadRef(holder, 2)
+	if got == 0 {
+		t.Fatal("young referent lost")
+	}
+	if f.h.Word(got+4*heap.WordBytes) != stamp {
+		t.Fatal("young referent corrupted after evacuation + scavenge")
+	}
+	if err := f.c.VerifyHeap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestG1ModeEndToEndRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := newG1Fixture(4 << 20)
+	sidx := f.h.AddRoot(f.c.AllocArray(f.arr, 32))
+	spine := func() heap.Addr { return f.h.Root(sidx) }
+	for step := 0; step < 300; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			n := f.c.AllocInstance(f.node)
+			if n == 0 {
+				t.Fatal("unexpected OOM")
+			}
+			stampCounter++
+			f.h.SetWord(n+4*heap.WordBytes, stampCounter)
+			if rng.Intn(2) == 0 {
+				f.h.StoreRef(spine(), heap.HeaderWords+rng.Intn(32), n)
+			}
+		case 5, 6:
+			a := f.h.LoadRef(spine(), heap.HeaderWords+rng.Intn(32))
+			b := f.h.LoadRef(spine(), heap.HeaderWords+rng.Intn(32))
+			if a != 0 {
+				f.h.StoreRef(a, 2+rng.Intn(2), b)
+			}
+		case 7:
+			f.h.StoreRef(spine(), heap.HeaderWords+rng.Intn(32), 0)
+		case 8:
+			before := f.signature()
+			f.c.MinorGC("prop")
+			if !sigEqual(before, f.signature()) {
+				t.Fatalf("minor GC broke graph at step %d", step)
+			}
+		case 9:
+			before := f.signature()
+			f.c.MixedGC("prop")
+			if !sigEqual(before, f.signature()) {
+				t.Fatalf("mixed GC broke graph at step %d", step)
+			}
+			if err := f.c.VerifyHeap(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := f.c.VerifyHeap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestG1EmptyOldGenDegenerates(t *testing.T) {
+	f := newG1Fixture(4 << 20)
+	a := f.newNode(t)
+	f.h.AddRoot(a)
+	ev := f.c.MixedGC("empty")
+	if ev.CopiedBytes != 0 {
+		t.Fatal("evacuated from an empty old gen")
+	}
+	if err := f.c.VerifyHeap(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModePS.String() != "ParallelScavenge" || ModeCMS.String() != "CMS" || ModeG1.String() != "G1" {
+		t.Fatal("mode names")
+	}
+	if MajorG1.String() != "mixed" || !MajorG1.Moving() {
+		t.Fatal("MajorG1 kind")
+	}
+}

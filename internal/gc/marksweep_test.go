@@ -1,0 +1,237 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+
+	"charonsim/internal/heap"
+)
+
+func newCMSFixture(heapBytes uint64) *fixture {
+	f := newFixture(heapBytes)
+	f.c.Mode = ModeCMS
+	return f
+}
+
+func TestMarkSweepPreservesGraphWithoutMoving(t *testing.T) {
+	f := newCMSFixture(8 << 20)
+	fillOldWithGarbage(t, f, 150)
+
+	keep := f.newNode(t)
+	kidx := f.h.AddRoot(keep)
+	f.h.SetAge(keep, 31)
+	f.c.MinorGC("promote-keep")
+	keepOld := f.h.Root(kidx)
+	if !f.h.InOld(keepOld) {
+		t.Fatal("setup: keep not promoted")
+	}
+	before := f.signature()
+
+	ev := f.c.MarkSweepGC("test")
+
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("mark-sweep changed the reachable graph")
+	}
+	// Non-moving: the survivor stays at its address.
+	if f.h.Root(kidx) != keepOld {
+		t.Fatalf("mark-sweep moved an object: %#x -> %#x", keepOld, f.h.Root(kidx))
+	}
+	if ev.Kind != MajorMS || ev.Kind.Moving() {
+		t.Fatalf("event kind %v", ev.Kind)
+	}
+	if ev.ReclaimedBytes == 0 {
+		t.Fatal("sweep reclaimed nothing despite old-gen garbage")
+	}
+	// The dead ranges became parseable fillers.
+	fillers := 0
+	f.h.WalkSpace(f.h.Old, func(a heap.Addr) {
+		if f.h.IsFiller(a) {
+			fillers++
+		}
+	})
+	if fillers == 0 && f.h.Old.Used() > uint64(6*8) {
+		t.Fatal("no fillers in swept old gen")
+	}
+}
+
+func TestMarkSweepRecordsNoBitmapCountOrCopy(t *testing.T) {
+	// Table 1: CMS has no compaction, so Bitmap Count does not apply; a
+	// non-moving sweep also performs no Copy.
+	f := newCMSFixture(8 << 20)
+	fillOldWithGarbage(t, f, 100)
+	keep := f.newNode(t)
+	f.h.AddRoot(keep)
+	ev := f.c.MarkSweepGC("prims")
+	counts := ev.CountByPrim()
+	if counts[PrimBitmapCount] != 0 {
+		t.Fatalf("mark-sweep recorded %d Bitmap Count invocations", counts[PrimBitmapCount])
+	}
+	if counts[PrimCopy] != 0 {
+		t.Fatalf("mark-sweep recorded %d Copy invocations", counts[PrimCopy])
+	}
+	if counts[PrimScanPush] == 0 {
+		t.Fatal("marking must use Scan&Push")
+	}
+	if counts[PrimAdjust] != 0 {
+		t.Fatal("non-moving collection must not adjust pointers")
+	}
+}
+
+func TestFreeListAllocationReusesHoles(t *testing.T) {
+	f := newCMSFixture(8 << 20)
+	fillOldWithGarbage(t, f, 200)
+	anchor := f.newNode(t)
+	aidx := f.h.AddRoot(anchor)
+	f.h.SetAge(f.h.Root(aidx), 31)
+	f.c.MinorGC("promote-anchor")
+
+	f.c.MarkSweepGC("sweep")
+	if f.c.freeBytes == 0 && len(f.c.freeList) == 0 && f.h.Old.Free() == 0 {
+		t.Skip("sweep produced no reusable space at this sizing")
+	}
+	topBefore := f.h.Old.Top
+
+	// Promote new objects: they should fit without growing Old.Top beyond
+	// its swept high-water mark (free list or reclaimed bump space).
+	for i := 0; i < 50; i++ {
+		n := f.newNode(t)
+		f.h.SetAge(n, 31)
+		f.h.AddRoot(n)
+	}
+	f.c.MinorGC("promote-into-holes")
+	if f.h.Old.Top > topBefore+heap.Addr(f.h.Old.Capacity()/4) {
+		t.Fatalf("free space not reused: top grew %#x -> %#x", topBefore, f.h.Old.Top)
+	}
+}
+
+func TestCMSConcurrentModeFailureFallsBackToCompaction(t *testing.T) {
+	// Fragment the old generation into ~528B holes, then promote objects
+	// too large for any hole: promotion fails (self-forwarding) and the
+	// collector must recover with a compacting full GC.
+	f := newCMSFixture(4 << 20)
+	const n = 3800
+	spine := f.c.AllocArray(f.arr, n)
+	sidx := f.h.AddRoot(spine)
+	for i := 0; i < n; i++ {
+		d := f.c.AllocArray(f.data, 64) // ~528B objects
+		if d == 0 {
+			t.Fatal("setup OOM")
+		}
+		f.h.SetAge(d, 31)
+		f.h.StoreRef(f.h.Root(sidx), heap.HeaderWords+i, d)
+	}
+	f.h.SetAge(f.h.Root(sidx), 31)
+	f.c.MinorGC("promote-all")
+	// Free every other element: ~1 MB of fragmentation in 528B holes.
+	for i := 0; i < n; i += 2 {
+		f.h.StoreRef(f.h.Root(sidx), heap.HeaderWords+i, 0)
+	}
+	f.c.MarkSweepGC("fragment")
+
+	majorsBefore := f.c.Stats.Majors
+	// Promote 2KB objects until the bump space runs out: none fits a 528B
+	// hole, so promotion must eventually fail and trigger compaction.
+	for i := 0; i < 900 && !f.c.OOM && f.c.Stats.Majors == majorsBefore; i++ {
+		d := f.c.AllocArray(f.data, 256)
+		if d == 0 {
+			break
+		}
+		f.h.SetAge(d, 31)
+		f.h.StoreRef(f.h.Root(sidx), heap.HeaderWords+2*i, d)
+		f.c.MinorGC("promote-big")
+	}
+	if f.c.Stats.Majors == majorsBefore {
+		t.Fatal("no compacting fallback despite fragmentation pressure")
+	}
+	// The heap must be coherent after recovery: a full signature walk and
+	// one more full cycle succeed.
+	sig := f.signature()
+	f.c.MajorGC("verify")
+	if !sigEqual(sig, f.signature()) {
+		t.Fatal("heap inconsistent after promotion-failure recovery")
+	}
+}
+
+func TestCMSThenCompactionConsistency(t *testing.T) {
+	// Interleave CMS sweeps and full compactions: the graph must survive
+	// both, including compaction of a filler-riddled old gen.
+	f := newCMSFixture(8 << 20)
+	fillOldWithGarbage(t, f, 120)
+	keep := f.c.AllocArray(f.arr, 20)
+	kidx := f.h.AddRoot(keep)
+	for i := 0; i < 20; i++ {
+		n := f.newNode(t)
+		f.h.StoreRef(f.h.Root(kidx), heap.HeaderWords+i, n)
+	}
+	before := f.signature()
+
+	f.c.MarkSweepGC("ms1")
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("ms1 corrupted graph")
+	}
+	f.c.MajorGC("compact")
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("compaction after sweep corrupted graph")
+	}
+	// Compaction must have eliminated fillers entirely.
+	f.h.WalkSpace(f.h.Old, func(a heap.Addr) {
+		if f.h.IsFiller(a) {
+			t.Fatal("filler survived compaction")
+		}
+	})
+	f.c.MarkSweepGC("ms2")
+	if !sigEqual(before, f.signature()) {
+		t.Fatal("ms2 corrupted graph")
+	}
+}
+
+func TestCMSRandomizedInvariant(t *testing.T) {
+	// CMS-mode variant of the central GC property test.
+	rng := rand.New(rand.NewSource(7))
+	f := newCMSFixture(4 << 20)
+	sidx := f.h.AddRoot(f.c.AllocArray(f.arr, 32))
+	spine := func() heap.Addr { return f.h.Root(sidx) }
+	for step := 0; step < 300; step++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4:
+			n := f.c.AllocInstance(f.node)
+			if n == 0 {
+				t.Fatal("unexpected OOM")
+			}
+			stampCounter++
+			f.h.SetWord(n+4*heap.WordBytes, stampCounter)
+			if rng.Intn(2) == 0 {
+				f.h.StoreRef(spine(), heap.HeaderWords+rng.Intn(32), n)
+			}
+		case 5, 6:
+			a := f.h.LoadRef(spine(), heap.HeaderWords+rng.Intn(32))
+			b := f.h.LoadRef(spine(), heap.HeaderWords+rng.Intn(32))
+			if a != 0 {
+				f.h.StoreRef(a, 2+rng.Intn(2), b)
+			}
+		case 7:
+			f.h.StoreRef(spine(), heap.HeaderWords+rng.Intn(32), 0)
+		case 8:
+			before := f.signature()
+			f.c.MinorGC("prop")
+			if !sigEqual(before, f.signature()) {
+				t.Fatalf("minor GC broke graph at step %d", step)
+			}
+		case 9:
+			before := f.signature()
+			f.c.MarkSweepGC("prop")
+			if !sigEqual(before, f.signature()) {
+				t.Fatalf("mark-sweep broke graph at step %d", step)
+			}
+		}
+	}
+}
+
+func TestKindMoving(t *testing.T) {
+	if !Minor.Moving() || !Major.Moving() || MajorMS.Moving() {
+		t.Fatal("Moving classification")
+	}
+	if MajorMS.String() != "marksweep" {
+		t.Fatal("MajorMS name")
+	}
+}

@@ -1,0 +1,203 @@
+// Package gc implements a ParallelScavenge-style generational collector
+// over the heap substrate, mirroring the structure the paper derives its
+// primitives from (Figures 1, 3, 7, 8, 11):
+//
+//   - MinorGC: card-table Search for old-to-young references, then a
+//     pop/Copy/Scan&Push drain loop that evacuates live young objects to
+//     the To survivor space or promotes them to the old generation;
+//   - MajorGC: a marking phase (Scan&Push + mark bitmaps), a summary
+//     phase, a pointer-adjustment phase that computes every live object's
+//     destination with Bitmap Count, and a compaction phase that Copies
+//     live objects into a dense prefix of the heap.
+//
+// The collector is functionally complete (the heap is really collected —
+// tests verify reachability preservation) and additionally *records* every
+// primitive invocation as a compact work descriptor. The exec package
+// replays those descriptors through the platform timing models (host CPU
+// over DDR4/HMC, Charon units, ideal), which is how every figure of the
+// paper is regenerated from a single functional run.
+package gc
+
+import "charonsim/internal/heap"
+
+// Prim identifies one of the offloadable primitives (or the residual
+// non-offloaded work).
+type Prim uint8
+
+const (
+	// PrimCopy moves an object's bytes (Figure 7, top).
+	PrimCopy Prim = iota
+	// PrimSearch scans a card-table range for dirty cards (Figure 7, bottom).
+	PrimSearch
+	// PrimScanPush iterates an object's reference slots, pushing
+	// unprocessed referents (Figure 11).
+	PrimScanPush
+	// PrimBitmapCount sums live words in a bitmap range (Figure 8).
+	PrimBitmapCount
+	// PrimAdjust is MajorGC pointer adjustment (not offloaded).
+	PrimAdjust
+	// PrimOther is residual work: pop, allocate, check-mark, root scan
+	// (explicitly not offloaded, Section 3.3).
+	PrimOther
+
+	NumPrims
+)
+
+var primNames = [...]string{"Copy", "Search", "Scan&Push", "BitmapCount", "AdjustPointer", "Other"}
+
+// String returns the primitive's display name.
+func (p Prim) String() string {
+	if int(p) < len(primNames) {
+		return primNames[p]
+	}
+	return "?"
+}
+
+// Offloadable reports whether Charon accelerates this primitive.
+func (p Prim) Offloadable() bool { return p <= PrimBitmapCount }
+
+// RefVisit flags.
+const (
+	// RefNull: slot held null.
+	RefNull uint8 = 1 << iota
+	// RefPushed: referent pushed onto the object stack.
+	RefPushed
+	// RefForwardUpdate: slot rewritten with a forwarding address.
+	RefForwardUpdate
+	// RefNewlyMarked: mark_obj set a new bitmap bit (MajorGC).
+	RefNewlyMarked
+	// RefCardDirty: storing the slot dirtied a card (old→young).
+	RefCardDirty
+)
+
+// RefVisit records one reference-slot visit inside a Scan&Push invocation:
+// the slot read and the (pre-GC) target loaded from it, plus what happened.
+type RefVisit struct {
+	Slot   heap.Addr
+	Target heap.Addr
+	Flags  uint8
+}
+
+// Invocation is one primitive call, with primitive-specific operands:
+//
+//	Copy:        A=src, B=dst, N=bytes
+//	Search:      A=first card-byte address, N=card bytes scanned
+//	ScanPush:    A=object, B=stack-top address, N=#refs; Refs[RefOff:RefOff+RefLen]
+//	BitmapCount: A=beg-map byte address, N=map bytes scanned (per map)
+//	Adjust:      A=object, N=#slots rewritten
+//	Other:       A=optional address, N=instruction estimate
+type Invocation struct {
+	Prim           Prim
+	A, B           heap.Addr
+	N              uint32
+	RefOff, RefLen uint32
+}
+
+// Kind distinguishes GC event types.
+type Kind uint8
+
+const (
+	// Minor is a young-generation scavenge.
+	Minor Kind = iota
+	// Major is a full mark-compact.
+	Major
+	// MajorMS is a CMS-style non-moving mark-sweep of the old generation
+	// (Table 1's third collector: no compaction, no Bitmap Count).
+	MajorMS
+	// MajorG1 is a G1-style mixed collection: mark, compute per-region
+	// liveness (Bitmap Count "scanning the bitmap to identify the state of
+	// the entire heap", Table 1), then evacuate the garbage-first regions.
+	MajorG1
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Minor:
+		return "minor"
+	case MajorMS:
+		return "marksweep"
+	case MajorG1:
+		return "mixed"
+	}
+	return "major"
+}
+
+// Moving reports whether this collection relocates objects.
+func (k Kind) Moving() bool { return k != MajorMS }
+
+// Mode selects the full-collection strategy, mirroring Table 1's three
+// production collectors.
+type Mode int
+
+const (
+	// ModePS: ParallelScavenge — compacting MajorGC (the paper's default).
+	ModePS Mode = iota
+	// ModeCMS: CMS-style non-moving mark-sweep, compaction only as the
+	// concurrent-mode-failure fallback.
+	ModeCMS
+	// ModeG1: G1-style garbage-first mixed collections.
+	ModeG1
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeCMS:
+		return "CMS"
+	case ModeG1:
+		return "G1"
+	}
+	return "ParallelScavenge"
+}
+
+// Event is one recorded GC: its full invocation trace plus functional
+// statistics.
+type Event struct {
+	Kind   Kind
+	Seq    int
+	Reason string
+
+	Invocations []Invocation
+	Refs        []RefVisit
+
+	// Functional outcome.
+	LiveObjects    uint64
+	LiveBytes      uint64
+	CopiedBytes    uint64
+	PromotedBytes  uint64
+	ReclaimedBytes uint64
+}
+
+// CountByPrim tallies invocations per primitive.
+func (e *Event) CountByPrim() [NumPrims]uint64 {
+	var out [NumPrims]uint64
+	for i := range e.Invocations {
+		out[e.Invocations[i].Prim]++
+	}
+	return out
+}
+
+// BytesByPrim tallies the N operand per primitive (bytes for Copy/Search/
+// BitmapCount, ref counts for ScanPush).
+func (e *Event) BytesByPrim() [NumPrims]uint64 {
+	var out [NumPrims]uint64
+	for i := range e.Invocations {
+		out[e.Invocations[i].Prim] += uint64(e.Invocations[i].N)
+	}
+	return out
+}
+
+// record appends an invocation if recording is enabled.
+func (c *Collector) record(inv Invocation) {
+	if c.ev != nil {
+		c.ev.Invocations = append(c.ev.Invocations, inv)
+	}
+}
+
+// recordRef appends a reference visit and returns its index.
+func (c *Collector) recordRef(v RefVisit) {
+	if c.ev != nil {
+		c.ev.Refs = append(c.ev.Refs, v)
+	}
+}

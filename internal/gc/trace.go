@@ -1,0 +1,74 @@
+package gc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventSummary is a compact, serializable view of one GC event, suitable
+// for -verbose:gc style logs and offline analysis. The full invocation
+// trace stays in memory only.
+type EventSummary struct {
+	Seq            int    `json:"seq"`
+	Kind           string `json:"kind"`
+	Reason         string `json:"reason"`
+	LiveObjects    uint64 `json:"liveObjects"`
+	LiveBytes      uint64 `json:"liveBytes"`
+	CopiedBytes    uint64 `json:"copiedBytes"`
+	PromotedBytes  uint64 `json:"promotedBytes"`
+	ReclaimedBytes uint64 `json:"reclaimedBytes"`
+
+	// Invocations and Volume count primitive calls and their N operands
+	// (bytes or reference counts), keyed by primitive name.
+	Invocations map[string]uint64 `json:"invocations"`
+	Volume      map[string]uint64 `json:"volume"`
+}
+
+// Summarize condenses one event.
+func Summarize(ev *Event) EventSummary {
+	s := EventSummary{
+		Seq: ev.Seq, Kind: ev.Kind.String(), Reason: ev.Reason,
+		LiveObjects: ev.LiveObjects, LiveBytes: ev.LiveBytes,
+		CopiedBytes: ev.CopiedBytes, PromotedBytes: ev.PromotedBytes,
+		ReclaimedBytes: ev.ReclaimedBytes,
+		Invocations:    map[string]uint64{},
+		Volume:         map[string]uint64{},
+	}
+	counts := ev.CountByPrim()
+	vols := ev.BytesByPrim()
+	for p := 0; p < int(NumPrims); p++ {
+		if counts[p] == 0 {
+			continue
+		}
+		s.Invocations[Prim(p).String()] = counts[p]
+		s.Volume[Prim(p).String()] = vols[p]
+	}
+	return s
+}
+
+// WriteLog streams a GC log as newline-delimited JSON (one event per
+// line), the interchange format of cmd/gcstats -json.
+func WriteLog(w io.Writer, log []*Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range log {
+		if err := enc.Encode(Summarize(ev)); err != nil {
+			return fmt.Errorf("gc: encoding event %d: %w", ev.Seq, err)
+		}
+	}
+	return nil
+}
+
+// ReadLog parses a WriteLog stream back into summaries.
+func ReadLog(r io.Reader) ([]EventSummary, error) {
+	dec := json.NewDecoder(r)
+	var out []EventSummary
+	for dec.More() {
+		var s EventSummary
+		if err := dec.Decode(&s); err != nil {
+			return out, fmt.Errorf("gc: decoding event %d: %w", len(out), err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

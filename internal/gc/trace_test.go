@@ -1,0 +1,71 @@
+package gc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func recordedLog(t *testing.T) (*fixture, []*Event) {
+	t.Helper()
+	f := newFixture(4 << 20)
+	a := f.newNode(t)
+	f.h.AddRoot(a)
+	for i := 0; i < 200; i++ {
+		f.newNode(t)
+	}
+	f.c.MinorGC("one")
+	f.c.MajorGC("two")
+	return f, f.c.Log
+}
+
+func TestSummarize(t *testing.T) {
+	_, log := recordedLog(t)
+	s := Summarize(log[0])
+	if s.Kind != "minor" || s.Seq != 0 || s.Reason != "one" {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Invocations["Copy"] == 0 || s.Volume["Copy"] == 0 {
+		t.Fatal("copy activity missing from summary")
+	}
+	if _, ok := s.Invocations["BitmapCount"]; ok {
+		t.Fatal("minor GC should have no bitmap counts")
+	}
+	maj := Summarize(log[1])
+	if maj.Kind != "major" || maj.Invocations["BitmapCount"] == 0 {
+		t.Fatalf("major summary %+v", maj)
+	}
+}
+
+func TestWriteReadLogRoundTrip(t *testing.T) {
+	_, log := recordedLog(t)
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	// One JSON line per event.
+	if n := strings.Count(buf.String(), "\n"); n != len(log) {
+		t.Fatalf("%d lines for %d events", n, len(log))
+	}
+	back, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(log) {
+		t.Fatalf("round trip %d events, want %d", len(back), len(log))
+	}
+	for i := range back {
+		orig := Summarize(log[i])
+		if back[i].Seq != orig.Seq || back[i].Kind != orig.Kind ||
+			back[i].ReclaimedBytes != orig.ReclaimedBytes ||
+			back[i].Invocations["Scan&Push"] != orig.Invocations["Scan&Push"] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, back[i], orig)
+		}
+	}
+}
+
+func TestReadLogRejectsGarbage(t *testing.T) {
+	if _, err := ReadLog(strings.NewReader("{\"seq\":0}\nnot-json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

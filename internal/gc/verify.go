@@ -1,0 +1,94 @@
+package gc
+
+import (
+	"fmt"
+
+	"charonsim/internal/heap"
+)
+
+// VerifyHeap performs the consistency checks HotSpot runs under
+// -XX:+VerifyBeforeGC/-XX:+VerifyAfterGC: every space parses as a dense
+// object sequence, every reachable reference lands on a valid allocated
+// object, and no live object carries a stale forwarding installation.
+// Returns the first inconsistency found, or nil. Intended for tests and
+// debugging; it walks the whole heap.
+func (c *Collector) VerifyHeap() error {
+	h := c.H
+
+	// 1. Spaces parse: each [Base, Top) is a walkable object sequence with
+	// valid klasses.
+	for _, sp := range []*heap.Space{h.Old, h.Eden, h.From} {
+		addr := sp.Base
+		for addr < sp.Top {
+			k := h.KlassOf(addr)
+			if k == nil {
+				return fmt.Errorf("gc: %s space: unparseable object at %#x (klass word %#x)",
+					sp.Name, uint64(addr), h.Word(addr+8))
+			}
+			size := h.SizeWords(addr)
+			if size < heap.HeaderWords {
+				return fmt.Errorf("gc: %s space: object at %#x has size %d words",
+					sp.Name, uint64(addr), size)
+			}
+			addr += heap.Addr(size * heap.WordBytes)
+		}
+		if addr != sp.Top {
+			return fmt.Errorf("gc: %s space: walk overshot top by %d bytes",
+				sp.Name, uint64(addr-sp.Top))
+		}
+	}
+
+	// 2. Reachability: every reference from a reachable object points at a
+	// valid allocated, unforwarded object.
+	seen := map[heap.Addr]bool{}
+	var stack []heap.Addr
+	push := func(a heap.Addr, what string) error {
+		if a == 0 || seen[a] {
+			return nil
+		}
+		if !c.inAllocated(a) {
+			return fmt.Errorf("gc: %s -> %#x outside allocated regions", what, uint64(a))
+		}
+		if h.KlassOf(a) == nil {
+			return fmt.Errorf("gc: %s -> %#x has no klass", what, uint64(a))
+		}
+		if h.IsForwarded(a) {
+			return fmt.Errorf("gc: reachable object %#x carries a forwarding pointer", uint64(a))
+		}
+		seen[a] = true
+		stack = append(stack, a)
+		return nil
+	}
+	for i, r := range h.Roots() {
+		if err := push(r, fmt.Sprintf("root[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		var ierr error
+		h.IterateRefSlots(a, func(slot heap.Addr) {
+			if ierr != nil {
+				return
+			}
+			ierr = push(heap.Addr(h.Word(slot)), fmt.Sprintf("slot %#x of %#x", uint64(slot), uint64(a)))
+		})
+		if ierr != nil {
+			return ierr
+		}
+	}
+	return nil
+}
+
+// inAllocated reports whether a lies inside an allocated (below-top)
+// region of some space.
+func (c *Collector) inAllocated(a heap.Addr) bool {
+	h := c.H
+	for _, sp := range []*heap.Space{h.Old, h.Eden, h.From, h.To} {
+		if sp.Contains(a) {
+			return a < sp.Top
+		}
+	}
+	return false
+}

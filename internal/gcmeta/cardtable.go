@@ -1,0 +1,110 @@
+// Package gcmeta implements the collector's metadata substrates: the card
+// table that tracks old-to-young references (scanned by the Search
+// primitive), the begin/end mark bitmaps consumed by the Bitmap Count
+// primitive, and the chunked object stack used by Scan&Push.
+package gcmeta
+
+import (
+	"fmt"
+
+	"charonsim/internal/heap"
+)
+
+// CardBytes is the heap bytes covered by one card (HotSpot's default).
+const CardBytes = 512
+
+// Card byte encodings. HotSpot's clean card is all-ones, which is why the
+// Search pseudocode in Figure 7 tests `*i != -1` to find dirty cards.
+const (
+	CardClean byte = 0xff
+	CardDirty byte = 0x00
+)
+
+// CardTable maps heap addresses to card bytes. The table itself occupies a
+// simulated address range starting at TableBase so the timing models can
+// charge its memory traffic.
+type CardTable struct {
+	heapLo, heapHi heap.Addr
+	TableBase      heap.Addr
+	cards          []byte
+
+	// DirtyMarks counts write-barrier card dirtying events.
+	DirtyMarks uint64
+}
+
+// NewCardTable covers [heapLo, heapHi), placing the table's bytes at
+// tableBase in the simulated address space.
+func NewCardTable(heapLo, heapHi, tableBase heap.Addr) *CardTable {
+	if heapHi <= heapLo {
+		panic("gcmeta: empty card table range")
+	}
+	n := (uint64(heapHi-heapLo) + CardBytes - 1) / CardBytes
+	ct := &CardTable{heapLo: heapLo, heapHi: heapHi, TableBase: tableBase, cards: make([]byte, n)}
+	ct.ClearAll()
+	return ct
+}
+
+// NumCards returns the table length.
+func (ct *CardTable) NumCards() int { return len(ct.cards) }
+
+// CardIndex returns the card covering addr.
+func (ct *CardTable) CardIndex(addr heap.Addr) int {
+	if addr < ct.heapLo || addr >= ct.heapHi {
+		panic(fmt.Sprintf("gcmeta: address %#x outside card table", uint64(addr)))
+	}
+	return int((addr - ct.heapLo) / CardBytes)
+}
+
+// CardRange returns the heap range [lo, hi) covered by card idx.
+func (ct *CardTable) CardRange(idx int) (heap.Addr, heap.Addr) {
+	lo := ct.heapLo + heap.Addr(idx*CardBytes)
+	hi := lo + CardBytes
+	if hi > ct.heapHi {
+		hi = ct.heapHi
+	}
+	return lo, hi
+}
+
+// CardAddr returns the simulated address of card idx's byte (for timing).
+func (ct *CardTable) CardAddr(idx int) heap.Addr { return ct.TableBase + heap.Addr(idx) }
+
+// Dirty marks the card covering addr.
+func (ct *CardTable) Dirty(addr heap.Addr) {
+	ct.cards[ct.CardIndex(addr)] = CardDirty
+	ct.DirtyMarks++
+}
+
+// IsDirty reports card idx's state.
+func (ct *CardTable) IsDirty(idx int) bool { return ct.cards[idx] != CardClean }
+
+// Clean resets card idx.
+func (ct *CardTable) Clean(idx int) { ct.cards[idx] = CardClean }
+
+// ClearAll cleans every card.
+func (ct *CardTable) ClearAll() {
+	for i := range ct.cards {
+		ct.cards[i] = CardClean
+	}
+}
+
+// Search scans card indices [lo, hi) for the first dirty card, mirroring
+// Figure 7's Search primitive (return true on the first block != -1).
+// Returns the index of the first dirty card and true, or hi and false.
+func (ct *CardTable) Search(lo, hi int) (int, bool) {
+	for i := lo; i < hi; i++ {
+		if ct.cards[i] != CardClean {
+			return i, true
+		}
+	}
+	return hi, false
+}
+
+// DirtyCards appends all dirty card indices in [lo, hi) to out.
+func (ct *CardTable) DirtyCards(lo, hi int, out []int) []int {
+	for i := lo; i < hi; i++ {
+		if ct.cards[i] != CardClean {
+			out = append(out, i)
+		}
+	}
+	return out
+}

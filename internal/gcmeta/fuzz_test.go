@@ -1,0 +1,41 @@
+package gcmeta
+
+import (
+	"testing"
+)
+
+// FuzzLiveWordsEquivalence drives the paper's central algorithmic claim
+// with fuzzed object layouts and query ranges: the optimized
+// subtract+popcount Bitmap Count must equal Figure 8's bit iteration.
+func FuzzLiveWordsEquivalence(f *testing.F) {
+	f.Add([]byte{3, 1, 5, 2, 0, 10}, uint16(0), uint16(100))
+	f.Add([]byte{0, 64, 1, 1}, uint16(30), uint16(90))
+	f.Add([]byte{}, uint16(0), uint16(0))
+	f.Add([]byte{255, 255, 1, 255}, uint16(5), uint16(600))
+
+	f.Fuzz(func(t *testing.T, layout []byte, loRaw, hiRaw uint16) {
+		m := NewMarkBitmaps(lo, hi, bmapBase)
+		const totalWords = 4096
+		w := uint64(0)
+		// layout bytes alternate (gap, size-1) pairs.
+		for i := 0; i+1 < len(layout); i += 2 {
+			gap := uint64(layout[i]) % 32
+			size := uint64(layout[i+1])%96 + 1
+			if w+gap+size > totalWords {
+				break
+			}
+			m.MarkObject(m.AddrOfWord(w+gap), int(size))
+			w += gap + size
+		}
+		a := uint64(loRaw) % totalWords
+		b := uint64(hiRaw) % totalWords
+		if a > b {
+			a, b = b, a
+		}
+		fast := m.LiveWordsInRange(a, b)
+		naive := m.LiveWordsInRangeNaive(a, b)
+		if fast != naive {
+			t.Fatalf("range [%d,%d): optimized %d != naive %d", a, b, fast, naive)
+		}
+	})
+}

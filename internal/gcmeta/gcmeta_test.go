@@ -1,0 +1,369 @@
+package gcmeta
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"charonsim/internal/heap"
+)
+
+const (
+	lo        = heap.Addr(1 << 28)
+	hi        = heap.Addr(1<<28 + 1<<20) // 1 MB heap slice
+	cardBase  = heap.Addr(1 << 30)
+	bmapBase  = heap.Addr(1<<30 + 1<<20)
+	stackBase = heap.Addr(1 << 31)
+)
+
+// --- Card table -------------------------------------------------------------
+
+func TestCardTableGeometry(t *testing.T) {
+	ct := NewCardTable(lo, hi, cardBase)
+	if ct.NumCards() != 1<<20/CardBytes {
+		t.Fatalf("cards = %d", ct.NumCards())
+	}
+	if ct.CardIndex(lo) != 0 || ct.CardIndex(lo+CardBytes) != 1 {
+		t.Fatal("card indexing wrong")
+	}
+	clo, chi := ct.CardRange(1)
+	if clo != lo+CardBytes || chi != lo+2*CardBytes {
+		t.Fatalf("card range %#x..%#x", clo, chi)
+	}
+	if ct.CardAddr(5) != cardBase+5 {
+		t.Fatal("card timing address wrong")
+	}
+}
+
+func TestCardDirtyClean(t *testing.T) {
+	ct := NewCardTable(lo, hi, cardBase)
+	for i := 0; i < ct.NumCards(); i++ {
+		if ct.IsDirty(i) {
+			t.Fatal("fresh table has dirty cards")
+		}
+	}
+	ct.Dirty(lo + 1000)
+	idx := ct.CardIndex(lo + 1000)
+	if !ct.IsDirty(idx) {
+		t.Fatal("dirty mark lost")
+	}
+	if ct.DirtyMarks != 1 {
+		t.Fatal("dirty counter")
+	}
+	ct.Clean(idx)
+	if ct.IsDirty(idx) {
+		t.Fatal("clean failed")
+	}
+}
+
+func TestCardSearch(t *testing.T) {
+	ct := NewCardTable(lo, hi, cardBase)
+	if _, found := ct.Search(0, ct.NumCards()); found {
+		t.Fatal("search found dirt in clean table")
+	}
+	ct.Dirty(lo + 100*CardBytes)
+	idx, found := ct.Search(0, ct.NumCards())
+	if !found || idx != 100 {
+		t.Fatalf("search = %d,%v want 100,true", idx, found)
+	}
+	// Search below the dirty card finds nothing.
+	if _, found := ct.Search(0, 100); found {
+		t.Fatal("bounded search overran")
+	}
+	got := ct.DirtyCards(0, ct.NumCards(), nil)
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("dirty cards %v", got)
+	}
+}
+
+func TestCardCleanEncodingMatchesPaper(t *testing.T) {
+	// Figure 7 tests `*i != -1`: clean must be all-ones.
+	if CardClean != 0xff || CardDirty == CardClean {
+		t.Fatal("card encoding drifted from HotSpot")
+	}
+}
+
+func TestCardClearAll(t *testing.T) {
+	ct := NewCardTable(lo, hi, cardBase)
+	for i := 0; i < 50; i++ {
+		ct.Dirty(lo + heap.Addr(i*3*CardBytes))
+	}
+	ct.ClearAll()
+	if _, found := ct.Search(0, ct.NumCards()); found {
+		t.Fatal("ClearAll left dirt")
+	}
+}
+
+// --- Mark bitmaps -----------------------------------------------------------
+
+func newMaps() *MarkBitmaps { return NewMarkBitmaps(lo, hi, bmapBase) }
+
+func TestBitmapGeometry(t *testing.T) {
+	m := newMaps()
+	// 1 MB heap = 128K words = 16 KB per map.
+	if m.SizeBytes() != 16<<10 {
+		t.Fatalf("map bytes = %d", m.SizeBytes())
+	}
+	// Paper's ratio: each map is heap/64.
+	if m.SizeBytes() != uint64(hi-lo)/64 {
+		t.Fatal("bitmap not 1/64 of heap")
+	}
+	if m.EndBase() != m.BegBase+m.Offset {
+		t.Fatal("end base")
+	}
+	if m.WordIndex(lo+16) != 2 || m.AddrOfWord(2) != lo+16 {
+		t.Fatal("word index round trip")
+	}
+	if m.BegByteAddr(16) != bmapBase+2 {
+		t.Fatal("beg byte addr")
+	}
+}
+
+func TestMarkObject(t *testing.T) {
+	m := newMaps()
+	a := lo + 64
+	if !m.MarkObject(a, 4) {
+		t.Fatal("first mark failed")
+	}
+	if m.MarkObject(a, 4) {
+		t.Fatal("second mark should report already-marked")
+	}
+	if !m.IsMarked(a) {
+		t.Fatal("IsMarked false")
+	}
+	i := m.WordIndex(a)
+	if m.ObjectEnd(i) != i+3 {
+		t.Fatalf("object end = %d, want %d", m.ObjectEnd(i), i+3)
+	}
+	if m.Marks != 1 {
+		t.Fatal("mark counter")
+	}
+}
+
+func TestLiveWordsSimple(t *testing.T) {
+	m := newMaps()
+	// Figure 9 example: three objects of sizes 2, 1, 3.
+	m.MarkObject(lo, 2)
+	m.MarkObject(lo+3*8, 1)
+	m.MarkObject(lo+5*8, 3)
+	want := uint64(2 + 1 + 3)
+	if got := m.LiveWordsInRangeNaive(0, 16); got != want {
+		t.Fatalf("naive = %d, want %d", got, want)
+	}
+	if got := m.LiveWordsInRange(0, 16); got != want {
+		t.Fatalf("optimized = %d, want %d", got, want)
+	}
+}
+
+func TestLiveWordsEmptyAndEdge(t *testing.T) {
+	m := newMaps()
+	if m.LiveWordsInRange(0, 0) != 0 || m.LiveWordsInRange(5, 5) != 0 {
+		t.Fatal("empty range nonzero")
+	}
+	if m.LiveWordsInRange(0, 1000) != 0 {
+		t.Fatal("clean bitmap nonzero")
+	}
+	// Single one-word object.
+	m.MarkObject(lo, 1)
+	if m.LiveWordsInRange(0, 1) != 1 {
+		t.Fatal("one-word object at range edge")
+	}
+}
+
+func TestLiveWordsCornerCases(t *testing.T) {
+	m := newMaps()
+	// Object A spans words 2..9. Object B spans 12..13.
+	m.MarkObject(lo+2*8, 8)
+	m.MarkObject(lo+12*8, 2)
+
+	// Range starting inside A: A's end bit (9) is unmatched; naive skips it.
+	if got, want := m.LiveWordsInRange(5, 16), uint64(2); got != want {
+		t.Fatalf("leading partial object: %d, want %d", got, want)
+	}
+	if m.LiveWordsInRangeNaive(5, 16) != 2 {
+		t.Fatal("naive disagrees on leading partial")
+	}
+
+	// Range ending inside B: B's begin bit (12) is unterminated.
+	if got, want := m.LiveWordsInRange(0, 13), uint64(8); got != want {
+		t.Fatalf("trailing partial object: %d, want %d", got, want)
+	}
+	if m.LiveWordsInRangeNaive(0, 13) != 8 {
+		t.Fatal("naive disagrees on trailing partial")
+	}
+
+	// Range strictly inside A: no begin bit at all.
+	if m.LiveWordsInRange(3, 9) != 0 || m.LiveWordsInRangeNaive(3, 9) != 0 {
+		t.Fatal("interior range should count 0")
+	}
+}
+
+func TestLiveWordsCrossesWordBoundaries(t *testing.T) {
+	m := newMaps()
+	// Object spanning bit-word 0 into bit-word 2: words 60..140.
+	m.MarkObject(lo+60*8, 81)
+	got := m.LiveWordsInRange(0, 200)
+	if got != 81 {
+		t.Fatalf("spanning object = %d, want 81", got)
+	}
+	if m.LiveWordsInRangeNaive(0, 200) != 81 {
+		t.Fatal("naive disagrees")
+	}
+}
+
+func TestLiveWordsOptimizedEqualsNaiveProperty(t *testing.T) {
+	// The paper's central algorithmic claim: the subtract+popcount method
+	// equals the bit-iteration method on arbitrary object layouts and
+	// arbitrary query ranges (including partial-object corner cases).
+	f := func(seed int64, loFrac, hiFrac uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := newMaps()
+		const totalWords = 2048
+		w := uint64(0)
+		for w < totalWords {
+			gap := uint64(rng.Intn(20))
+			size := uint64(1 + rng.Intn(120))
+			if w+gap+size > totalWords {
+				break
+			}
+			m.MarkObject(m.AddrOfWord(w+gap), int(size))
+			w += gap + size
+		}
+		a := uint64(loFrac) % totalWords
+		b := uint64(hiFrac) % totalWords
+		if a > b {
+			a, b = b, a
+		}
+		return m.LiveWordsInRange(a, b) == m.LiveWordsInRangeNaive(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindNextBegin(t *testing.T) {
+	m := newMaps()
+	m.MarkObject(lo+10*8, 3)
+	m.MarkObject(lo+100*8, 5)
+	i, ok := m.FindNextBegin(0, 1000)
+	if !ok || i != 10 {
+		t.Fatalf("first begin = %d,%v", i, ok)
+	}
+	i, ok = m.FindNextBegin(11, 1000)
+	if !ok || i != 100 {
+		t.Fatalf("second begin = %d,%v", i, ok)
+	}
+	if _, ok := m.FindNextBegin(101, 1000); ok {
+		t.Fatal("phantom begin")
+	}
+	// Bounded search excludes the hit.
+	if _, ok := m.FindNextBegin(11, 100); ok {
+		t.Fatal("bound overrun")
+	}
+}
+
+func TestBitmapClear(t *testing.T) {
+	m := newMaps()
+	m.MarkObject(lo, 4)
+	m.ClearAll()
+	if m.IsMarked(lo) || m.LiveWordsInRange(0, 100) != 0 {
+		t.Fatal("ClearAll incomplete")
+	}
+	m.MarkObject(lo, 4)
+	m.ClearObject(lo, 4)
+	if m.IsMarked(lo) {
+		t.Fatal("ClearObject incomplete")
+	}
+}
+
+// --- Object stack -----------------------------------------------------------
+
+func TestStackLIFO(t *testing.T) {
+	s := NewObjectStack(stackBase)
+	if !s.Empty() {
+		t.Fatal("fresh stack not empty")
+	}
+	s.Push(1)
+	s.Push(2)
+	s.Push(3)
+	if s.Len() != 3 || s.MaxDepth != 3 {
+		t.Fatalf("len=%d max=%d", s.Len(), s.MaxDepth)
+	}
+	for want := heap.Addr(3); want >= 1; want-- {
+		got, ok := s.Pop()
+		if !ok || got != want {
+			t.Fatalf("pop = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := s.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestStackChunkGrowth(t *testing.T) {
+	s := NewObjectStack(stackBase)
+	const n = stackChunkWords*3 + 17
+	for i := 0; i < n; i++ {
+		s.Push(heap.Addr(i + 1))
+	}
+	if s.Len() != n {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for i := n - 1; i >= 0; i-- {
+		got, ok := s.Pop()
+		if !ok || got != heap.Addr(i+1) {
+			t.Fatalf("pop[%d] = %d,%v", i, got, ok)
+		}
+	}
+	if s.Pushes != n || s.Pops != n {
+		t.Fatal("stack counters")
+	}
+}
+
+func TestStackTopAddr(t *testing.T) {
+	s := NewObjectStack(stackBase)
+	if s.TopAddr() != stackBase {
+		t.Fatal("empty top addr")
+	}
+	s.Push(42)
+	if s.TopAddr() != stackBase+8 {
+		t.Fatal("top addr after push")
+	}
+}
+
+func TestStackReset(t *testing.T) {
+	s := NewObjectStack(stackBase)
+	for i := 0; i < 100; i++ {
+		s.Push(heap.Addr(i))
+	}
+	s.Reset()
+	if !s.Empty() {
+		t.Fatal("reset incomplete")
+	}
+	s.Push(7)
+	if got, _ := s.Pop(); got != 7 {
+		t.Fatal("stack unusable after reset")
+	}
+}
+
+func BenchmarkLiveWordsOptimized(b *testing.B) {
+	m := newMaps()
+	for w := uint64(0); w < 100000; w += 16 {
+		m.MarkObject(m.AddrOfWord(w), 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LiveWordsInRange(0, 100000)
+	}
+}
+
+func BenchmarkLiveWordsNaive(b *testing.B) {
+	m := newMaps()
+	for w := uint64(0); w < 100000; w += 16 {
+		m.MarkObject(m.AddrOfWord(w), 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.LiveWordsInRangeNaive(0, 100000)
+	}
+}

@@ -1,0 +1,78 @@
+package gcmeta
+
+import "charonsim/internal/heap"
+
+// stackChunkWords is the capacity of one stack chunk (HotSpot's task
+// queues are similarly chunked).
+const stackChunkWords = 4096
+
+// ObjectStack is the traversal stack from Figure 3: objects awaiting a
+// Scan&Push visit. It is chunked so that its memory footprint, and hence
+// the simulated addresses of push/pop traffic, stay compact.
+type ObjectStack struct {
+	// Base is the simulated address of the stack region (timing).
+	Base heap.Addr
+
+	chunks [][]heap.Addr
+	depth  int
+
+	// MaxDepth tracks the high-water mark.
+	MaxDepth int
+	// Pushes and Pops count traffic.
+	Pushes, Pops uint64
+}
+
+// NewObjectStack places the stack region at base in the simulated address
+// space.
+func NewObjectStack(base heap.Addr) *ObjectStack {
+	return &ObjectStack{Base: base}
+}
+
+// Len returns the number of entries.
+func (s *ObjectStack) Len() int { return s.depth }
+
+// Empty reports whether the stack is drained.
+func (s *ObjectStack) Empty() bool { return s.depth == 0 }
+
+// TopAddr returns the simulated address of the current top slot (timing
+// for the next push/pop access).
+func (s *ObjectStack) TopAddr() heap.Addr {
+	return s.Base + heap.Addr(s.depth*heap.WordBytes)
+}
+
+// Push adds an object address.
+func (s *ObjectStack) Push(a heap.Addr) {
+	ci := s.depth / stackChunkWords
+	if ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]heap.Addr, 0, stackChunkWords))
+	}
+	s.chunks[ci] = append(s.chunks[ci], a)
+	s.depth++
+	s.Pushes++
+	if s.depth > s.MaxDepth {
+		s.MaxDepth = s.depth
+	}
+}
+
+// Pop removes and returns the most recent entry; ok is false when empty.
+func (s *ObjectStack) Pop() (heap.Addr, bool) {
+	if s.depth == 0 {
+		return 0, false
+	}
+	s.depth--
+	s.Pops++
+	ci := s.depth / stackChunkWords
+	chunk := s.chunks[ci]
+	a := chunk[len(chunk)-1]
+	s.chunks[ci] = chunk[:len(chunk)-1]
+	if len(s.chunks[ci]) == 0 && ci == len(s.chunks)-1 {
+		s.chunks = s.chunks[:ci]
+	}
+	return a, true
+}
+
+// Reset empties the stack, retaining chunk capacity.
+func (s *ObjectStack) Reset() {
+	s.chunks = s.chunks[:0]
+	s.depth = 0
+}

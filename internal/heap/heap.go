@@ -1,0 +1,417 @@
+package heap
+
+import "fmt"
+
+// Addr is a simulated physical byte address. 0 is the null reference.
+type Addr uint64
+
+// Object header geometry, mirroring 64-bit HotSpot: one mark word plus one
+// klass word (klass id and, for arrays, the length).
+const (
+	HeaderWords = 2
+	HeaderBytes = HeaderWords * 8
+	WordBytes   = 8
+)
+
+// Mark word layout:
+//
+//	bit 0      marked (live bit during MajorGC marking)
+//	bits 1-5   age (survived MinorGC count)
+//	bit 6      forwarded (forwarding address installed during copying GC)
+//	bits 8-63  forwarding address >> 3
+const (
+	markBitMarked    = 1 << 0
+	markAgeShift     = 1
+	markAgeMask      = 0x1f << markAgeShift
+	markBitForwarded = 1 << 6
+	markFwdShift     = 8
+)
+
+// Config sizes the heap. The defaults mirror HotSpot's ParallelScavenge
+// policy used in the paper: Young:Old = 1:2 (Section 5.1) and
+// Eden:Survivor = 8:1:1 (SurvivorRatio=8).
+type Config struct {
+	Base          Addr   // lowest heap address; must be 4 KB aligned
+	HeapBytes     uint64 // total heap capacity
+	YoungFraction int    // young gen = HeapBytes / YoungFraction (default 3)
+	SurvivorRatio int    // eden = SurvivorRatio × each survivor (default 8)
+	TenureAge     int    // promote after this many MinorGC survivals (default 6)
+}
+
+// DefaultConfig returns the paper's sizing policy over the given capacity.
+func DefaultConfig(heapBytes uint64) Config {
+	return Config{Base: 1 << 28, HeapBytes: heapBytes, YoungFraction: 3, SurvivorRatio: 8, TenureAge: 6}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Base == 0 {
+		c.Base = 1 << 28
+	}
+	if c.YoungFraction == 0 {
+		c.YoungFraction = 3
+	}
+	if c.SurvivorRatio == 0 {
+		c.SurvivorRatio = 8
+	}
+	if c.TenureAge == 0 {
+		c.TenureAge = 6
+	}
+}
+
+// Space is one contiguous region with bump-pointer allocation.
+type Space struct {
+	Name  string
+	Base  Addr
+	Limit Addr
+	Top   Addr
+}
+
+// Capacity returns the space's size in bytes.
+func (s *Space) Capacity() uint64 { return uint64(s.Limit - s.Base) }
+
+// Used returns allocated bytes.
+func (s *Space) Used() uint64 { return uint64(s.Top - s.Base) }
+
+// Free returns remaining bytes.
+func (s *Space) Free() uint64 { return uint64(s.Limit - s.Top) }
+
+// Contains reports whether addr falls inside the space.
+func (s *Space) Contains(a Addr) bool { return a >= s.Base && a < s.Limit }
+
+// Reset empties the space.
+func (s *Space) Reset() { s.Top = s.Base }
+
+// alloc bumps the pointer by n words, returning 0 on exhaustion.
+func (s *Space) alloc(words int) Addr {
+	need := Addr(words * WordBytes)
+	if s.Top+need > s.Limit {
+		return 0
+	}
+	a := s.Top
+	s.Top += need
+	return a
+}
+
+// Stats tracks allocation activity.
+type Stats struct {
+	AllocatedObjects uint64
+	AllocatedBytes   uint64
+	PromotedObjects  uint64
+	PromotedBytes    uint64
+}
+
+// Heap is the generational heap. Layout (low to high): Old, Eden,
+// Survivor-From, Survivor-To, so that a full compaction packs the heap
+// "densely on the left" exactly as Section 3.2 describes.
+type Heap struct {
+	cfg     Config
+	klasses *Table
+
+	words []uint64 // arena backing [Base, Base+HeapBytes)
+
+	Old  *Space
+	Eden *Space
+	From *Space
+	To   *Space
+
+	// Filler is the reserved dead-range klass (see FillerKlassName).
+	Filler *Klass
+
+	roots []Addr
+
+	// Barrier, if set, is invoked after every reference store with the
+	// holding object, the slot address and the stored value. The collector
+	// installs the card-table write barrier here.
+	Barrier func(obj, slot, val Addr)
+
+	Stats Stats
+}
+
+// FillerKlassName is the reserved klass used to stamp dead ranges during
+// non-moving (mark-sweep) collection, exactly like HotSpot's filler int
+// arrays: the heap stays linearly parseable through swept holes.
+const FillerKlassName = "<filler>"
+
+// New builds a heap. Panics on nonsensical configuration (programming
+// error), never on allocation pressure.
+func New(cfg Config, klasses *Table) *Heap {
+	cfg.fillDefaults()
+	if cfg.HeapBytes%4096 != 0 || cfg.HeapBytes == 0 {
+		panic(fmt.Sprintf("heap: capacity %d not 4KB aligned", cfg.HeapBytes))
+	}
+	if uint64(cfg.Base)%4096 != 0 {
+		panic("heap: base not 4KB aligned")
+	}
+	h := &Heap{cfg: cfg, klasses: klasses, words: make([]uint64, cfg.HeapBytes/WordBytes)}
+
+	young := cfg.HeapBytes / uint64(cfg.YoungFraction) / 4096 * 4096
+	old := cfg.HeapBytes - young
+	surv := young / uint64(cfg.SurvivorRatio+2) / 4096 * 4096
+	eden := young - 2*surv
+
+	if klasses.ByName(FillerKlassName) == nil {
+		klasses.Define(Klass{Name: FillerKlassName, Kind: KindTypeArray, ElemBytes: 8})
+	}
+	h.Filler = klasses.ByName(FillerKlassName)
+
+	base := cfg.Base
+	h.Old = &Space{Name: "old", Base: base, Limit: base + Addr(old), Top: base}
+	base += Addr(old)
+	h.Eden = &Space{Name: "eden", Base: base, Limit: base + Addr(eden), Top: base}
+	base += Addr(eden)
+	h.From = &Space{Name: "from", Base: base, Limit: base + Addr(surv), Top: base}
+	base += Addr(surv)
+	h.To = &Space{Name: "to", Base: base, Limit: base + Addr(surv), Top: base}
+	return h
+}
+
+// Config returns the construction parameters (defaults filled).
+func (h *Heap) Config() Config { return h.cfg }
+
+// Klasses returns the klass table.
+func (h *Heap) Klasses() *Table { return h.klasses }
+
+// Bounds returns [base, limit) of the whole heap.
+func (h *Heap) Bounds() (Addr, Addr) { return h.cfg.Base, h.cfg.Base + Addr(h.cfg.HeapBytes) }
+
+// Contains reports whether a falls inside the heap.
+func (h *Heap) Contains(a Addr) bool {
+	return a >= h.cfg.Base && a < h.cfg.Base+Addr(h.cfg.HeapBytes)
+}
+
+// InYoung reports whether a is in eden or a survivor space.
+func (h *Heap) InYoung(a Addr) bool { return a >= h.Eden.Base }
+
+// InOld reports whether a is in the old generation.
+func (h *Heap) InOld(a Addr) bool { return h.Old.Contains(a) }
+
+func (h *Heap) idx(a Addr) int {
+	if a < h.cfg.Base || a >= h.cfg.Base+Addr(h.cfg.HeapBytes) {
+		panic(fmt.Sprintf("heap: address %#x out of bounds", uint64(a)))
+	}
+	if a%WordBytes != 0 {
+		panic(fmt.Sprintf("heap: unaligned word access %#x", uint64(a)))
+	}
+	return int((a - h.cfg.Base) / WordBytes)
+}
+
+// Word reads the 8-byte word at a.
+func (h *Heap) Word(a Addr) uint64 { return h.words[h.idx(a)] }
+
+// SetWord writes the 8-byte word at a.
+func (h *Heap) SetWord(a Addr, v uint64) { h.words[h.idx(a)] = v }
+
+// --- Object accessors -----------------------------------------------------
+
+// AllocInstance allocates an instance of k in eden, zero-initialized.
+// Returns 0 when eden is exhausted (the caller triggers a MinorGC).
+func (h *Heap) AllocInstance(k *Klass) Addr {
+	if k.IsArray() {
+		panic("heap: AllocInstance on array klass " + k.Name)
+	}
+	return h.allocEden(k, k.InstanceWords, 0)
+}
+
+// AllocArray allocates an array of length elements of k in eden.
+func (h *Heap) AllocArray(k *Klass, length int) Addr {
+	if !k.IsArray() {
+		panic("heap: AllocArray on non-array klass " + k.Name)
+	}
+	words := ArraySizeWords(k, length)
+	return h.allocEden(k, words, length)
+}
+
+// ArraySizeWords computes an array's total size in words.
+func ArraySizeWords(k *Klass, length int) int {
+	return HeaderWords + (length*k.ElemBytes+WordBytes-1)/WordBytes
+}
+
+func (h *Heap) allocEden(k *Klass, words, length int) Addr {
+	a := h.Eden.alloc(words)
+	if a == 0 {
+		return 0
+	}
+	h.initObject(a, k, words, length)
+	h.Stats.AllocatedObjects++
+	h.Stats.AllocatedBytes += uint64(words * WordBytes)
+	return a
+}
+
+// initObject writes a fresh header and zeroes the body.
+func (h *Heap) initObject(a Addr, k *Klass, words, length int) {
+	i := h.idx(a)
+	h.words[i] = 0 // mark word: unmarked, age 0
+	h.words[i+1] = uint64(k.ID) | uint64(length)<<32
+	for j := 2; j < words; j++ {
+		h.words[i+j] = 0
+	}
+}
+
+// KlassOf returns the klass of the object at a.
+func (h *Heap) KlassOf(a Addr) *Klass {
+	return h.klasses.Get(KlassID(h.Word(a+8) & 0xffffffff))
+}
+
+// ArrayLen returns the array length stored in the header.
+func (h *Heap) ArrayLen(a Addr) int { return int(h.Word(a+8) >> 32) }
+
+// SizeWords returns the total size of the object at a, in words.
+func (h *Heap) SizeWords(a Addr) int {
+	k := h.KlassOf(a)
+	if k == nil {
+		panic(fmt.Sprintf("heap: no klass for object at %#x", uint64(a)))
+	}
+	if k.IsArray() {
+		return ArraySizeWords(k, h.ArrayLen(a))
+	}
+	return k.InstanceWords
+}
+
+// IterateRefSlots calls fn with the address of every reference slot of the
+// object at a, using the klass kind's iteration strategy (Section 4.4).
+func (h *Heap) IterateRefSlots(a Addr, fn func(slot Addr)) {
+	k := h.KlassOf(a)
+	switch k.Kind {
+	case KindObjArray:
+		n := h.ArrayLen(a)
+		for i := 0; i < n; i++ {
+			fn(a + Addr(HeaderBytes+i*WordBytes))
+		}
+	case KindTypeArray:
+		// no references
+	default:
+		for _, off := range k.RefOffsets {
+			fn(a + Addr(int(off)*WordBytes))
+		}
+	}
+}
+
+// RefCount returns the number of reference slots of the object at a.
+func (h *Heap) RefCount(a Addr) int {
+	k := h.KlassOf(a)
+	switch k.Kind {
+	case KindObjArray:
+		return h.ArrayLen(a)
+	case KindTypeArray:
+		return 0
+	default:
+		return len(k.RefOffsets)
+	}
+}
+
+// LoadRef reads the reference field at word offset off of the object at a.
+func (h *Heap) LoadRef(a Addr, off int) Addr { return Addr(h.Word(a + Addr(off*WordBytes))) }
+
+// StoreRef writes val into the reference field at word offset off of the
+// object at a, running the write barrier.
+func (h *Heap) StoreRef(a Addr, off int, val Addr) {
+	slot := a + Addr(off*WordBytes)
+	h.SetWord(slot, uint64(val))
+	if h.Barrier != nil {
+		h.Barrier(a, slot, val)
+	}
+}
+
+// --- Mark word operations ---------------------------------------------------
+
+// IsMarked reports the mark (live) bit.
+func (h *Heap) IsMarked(a Addr) bool { return h.Word(a)&markBitMarked != 0 }
+
+// SetMarked sets the mark bit.
+func (h *Heap) SetMarked(a Addr) { h.SetWord(a, h.Word(a)|markBitMarked) }
+
+// ClearMark clears the mark bit.
+func (h *Heap) ClearMark(a Addr) { h.SetWord(a, h.Word(a)&^uint64(markBitMarked)) }
+
+// Age returns the object's survival count.
+func (h *Heap) Age(a Addr) int { return int((h.Word(a) & markAgeMask) >> markAgeShift) }
+
+// SetAge stores the survival count (saturating at 31).
+func (h *Heap) SetAge(a Addr, age int) {
+	if age > 31 {
+		age = 31
+	}
+	h.SetWord(a, h.Word(a)&^uint64(markAgeMask)|uint64(age)<<markAgeShift)
+}
+
+// IsForwarded reports whether a forwarding address is installed.
+func (h *Heap) IsForwarded(a Addr) bool { return h.Word(a)&markBitForwarded != 0 }
+
+// Forward installs a forwarding address in the old copy's mark word.
+func (h *Heap) Forward(a, to Addr) {
+	h.SetWord(a, h.Word(a)&uint64(markAgeMask)|markBitForwarded|uint64(to>>3)<<markFwdShift)
+}
+
+// Forwardee returns the forwarding address.
+func (h *Heap) Forwardee(a Addr) Addr { return Addr(h.Word(a)>>markFwdShift) << 3 }
+
+// ClearForward removes a forwarding installation, keeping the age bits
+// (promotion-failure recovery: HotSpot's remove_forwarding_pointers).
+func (h *Heap) ClearForward(a Addr) { h.SetWord(a, h.Word(a)&uint64(markAgeMask)) }
+
+// --- Roots -----------------------------------------------------------------
+
+// AddRoot registers a new root slot holding a and returns its handle.
+func (h *Heap) AddRoot(a Addr) int {
+	h.roots = append(h.roots, a)
+	return len(h.roots) - 1
+}
+
+// SetRoot overwrites the root slot i.
+func (h *Heap) SetRoot(i int, a Addr) { h.roots[i] = a }
+
+// Root returns the value of root slot i.
+func (h *Heap) Root(i int) Addr { return h.roots[i] }
+
+// NumRoots returns the root count (including cleared slots).
+func (h *Heap) NumRoots() int { return len(h.roots) }
+
+// Roots returns the root slice (the collector updates it in place).
+func (h *Heap) Roots() []Addr { return h.roots }
+
+// ClearRoots drops all roots (workload teardown).
+func (h *Heap) ClearRoots() { h.roots = h.roots[:0] }
+
+// --- Walking -----------------------------------------------------------------
+
+// WalkSpace visits every object in s from base to top in address order.
+// fn receives the object address; objects are found by size arithmetic, so
+// the space must contain a well-formed object sequence.
+func (h *Heap) WalkSpace(s *Space, fn func(a Addr)) {
+	for a := s.Base; a < s.Top; {
+		fn(a)
+		a += Addr(h.SizeWords(a) * WordBytes)
+	}
+}
+
+// CopyWords copies n words from src to dst within the arena (the Copy
+// primitive's functional effect). Ranges may overlap only if dst < src,
+// matching compaction's left-packing direction.
+func (h *Heap) CopyWords(dst, src Addr, n int) {
+	di, si := h.idx(dst), h.idx(src)
+	copy(h.words[di:di+n], h.words[si:si+n])
+}
+
+// Used returns total live-ish bytes (allocated tops) across spaces.
+func (h *Heap) Used() uint64 {
+	return h.Old.Used() + h.Eden.Used() + h.From.Used() + h.To.Used()
+}
+
+// SwapSurvivors exchanges the roles of From and To after a MinorGC.
+func (h *Heap) SwapSurvivors() { h.From, h.To = h.To, h.From }
+
+// WriteFiller stamps [a, a+words*8) as a dead filler array so the heap
+// remains parseable (mark-sweep collection uses this for swept ranges).
+// words must be at least HeaderWords.
+func (h *Heap) WriteFiller(a Addr, words int) {
+	if words < HeaderWords {
+		panic("heap: filler smaller than a header")
+	}
+	length := (words - HeaderWords) * WordBytes / h.Filler.ElemBytes
+	i := h.idx(a)
+	h.words[i] = 0
+	h.words[i+1] = uint64(h.Filler.ID) | uint64(length)<<32
+}
+
+// IsFiller reports whether the object at a is a dead-range filler.
+func (h *Heap) IsFiller(a Addr) bool { return h.KlassOf(a) == h.Filler }

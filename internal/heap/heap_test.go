@@ -1,0 +1,394 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// testKlasses builds a small universe of types.
+func testKlasses() (*Table, *Klass, *Klass, *Klass) {
+	t := NewTable()
+	node := t.Define(Klass{Name: "Node", Kind: KindInstance, InstanceWords: 5, RefOffsets: []int32{2, 3}})
+	arr := t.Define(Klass{Name: "Object[]", Kind: KindObjArray})
+	bytes := t.Define(Klass{Name: "byte[]", Kind: KindTypeArray, ElemBytes: 1})
+	return t, node, arr, bytes
+}
+
+func newTestHeap() (*Heap, *Klass, *Klass, *Klass) {
+	tbl, node, arr, bytes := testKlasses()
+	h := New(DefaultConfig(4<<20), tbl)
+	return h, node, arr, bytes
+}
+
+func TestSpaceLayout(t *testing.T) {
+	h, _, _, _ := newTestHeap()
+	// Old below eden below from below to, contiguous, non-overlapping.
+	if !(h.Old.Base < h.Old.Limit && h.Old.Limit == h.Eden.Base) {
+		t.Fatalf("old/eden not contiguous: %+v %+v", h.Old, h.Eden)
+	}
+	if h.Eden.Limit != h.From.Base || h.From.Limit != h.To.Base {
+		t.Fatal("young spaces not contiguous")
+	}
+	lo, hi := h.Bounds()
+	if h.Old.Base != lo || h.To.Limit != hi {
+		t.Fatalf("bounds mismatch: %v..%v vs %v..%v", h.Old.Base, h.To.Limit, lo, hi)
+	}
+	// Young:Old = 1:2 within page rounding.
+	young := h.Eden.Capacity() + h.From.Capacity() + h.To.Capacity()
+	if ratio := float64(h.Old.Capacity()) / float64(young); ratio < 1.9 || ratio > 2.1 {
+		t.Fatalf("old:young = %.2f, want ~2", ratio)
+	}
+	// Eden ≈ 8x survivor.
+	if ratio := float64(h.Eden.Capacity()) / float64(h.From.Capacity()); ratio < 7 || ratio > 9 {
+		t.Fatalf("eden:survivor = %.2f, want ~8", ratio)
+	}
+	if h.From.Capacity() != h.To.Capacity() {
+		t.Fatal("survivor semispaces differ in size")
+	}
+}
+
+func TestAllocInstance(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	a := h.AllocInstance(node)
+	if a == 0 {
+		t.Fatal("allocation failed on empty heap")
+	}
+	if !h.Eden.Contains(a) {
+		t.Fatal("instance not in eden")
+	}
+	if h.KlassOf(a) != node {
+		t.Fatal("klass not recorded")
+	}
+	if h.SizeWords(a) != 5 {
+		t.Fatalf("size = %d", h.SizeWords(a))
+	}
+	// Fields zeroed, refs null.
+	if h.LoadRef(a, 2) != 0 || h.LoadRef(a, 3) != 0 {
+		t.Fatal("fields not zeroed")
+	}
+	b := h.AllocInstance(node)
+	if b != a+5*WordBytes {
+		t.Fatalf("bump allocation not contiguous: %#x then %#x", a, b)
+	}
+}
+
+func TestAllocArray(t *testing.T) {
+	h, _, arr, bytes := newTestHeap()
+	oa := h.AllocArray(arr, 10)
+	if h.ArrayLen(oa) != 10 {
+		t.Fatalf("objarray len = %d", h.ArrayLen(oa))
+	}
+	if h.SizeWords(oa) != HeaderWords+10 {
+		t.Fatalf("objarray size = %d", h.SizeWords(oa))
+	}
+	ba := h.AllocArray(bytes, 13) // 13 bytes → 2 words
+	if h.SizeWords(ba) != HeaderWords+2 {
+		t.Fatalf("byte[13] size = %d", h.SizeWords(ba))
+	}
+	if h.RefCount(oa) != 10 || h.RefCount(ba) != 0 {
+		t.Fatal("ref counts wrong")
+	}
+}
+
+func TestAllocExhaustionReturnsZero(t *testing.T) {
+	tbl := NewTable()
+	big := tbl.Define(Klass{Name: "Big", Kind: KindTypeArray, ElemBytes: 8})
+	h := New(DefaultConfig(1<<20), tbl)
+	n := 0
+	for {
+		if a := h.AllocArray(big, 1024); a == 0 {
+			break
+		}
+		n++
+		if n > 10000 {
+			t.Fatal("eden never filled")
+		}
+	}
+	if n == 0 {
+		t.Fatal("no allocations before exhaustion")
+	}
+}
+
+func TestIterateRefSlots(t *testing.T) {
+	h, node, arr, _ := newTestHeap()
+	n1 := h.AllocInstance(node)
+	n2 := h.AllocInstance(node)
+	a := h.AllocArray(arr, 3)
+
+	h.StoreRef(n1, 2, n2)
+	h.StoreRef(a, HeaderWords+1, n1)
+
+	var slots []Addr
+	h.IterateRefSlots(n1, func(s Addr) { slots = append(slots, s) })
+	if len(slots) != 2 || slots[0] != n1+16 || slots[1] != n1+24 {
+		t.Fatalf("instance slots %v", slots)
+	}
+	if h.LoadRef(n1, 2) != n2 {
+		t.Fatal("stored ref not read back")
+	}
+
+	slots = nil
+	h.IterateRefSlots(a, func(s Addr) { slots = append(slots, s) })
+	if len(slots) != 3 {
+		t.Fatalf("objarray slots %d", len(slots))
+	}
+	if Addr(h.Word(slots[1])) != n1 {
+		t.Fatal("array element not stored")
+	}
+}
+
+func TestWriteBarrierHook(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	var gotObj, gotSlot, gotVal Addr
+	h.Barrier = func(obj, slot, val Addr) { gotObj, gotSlot, gotVal = obj, slot, val }
+	n1 := h.AllocInstance(node)
+	n2 := h.AllocInstance(node)
+	h.StoreRef(n1, 3, n2)
+	if gotObj != n1 || gotSlot != n1+24 || gotVal != n2 {
+		t.Fatalf("barrier saw %#x %#x %#x", gotObj, gotSlot, gotVal)
+	}
+}
+
+func TestMarkWordOps(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	a := h.AllocInstance(node)
+	if h.IsMarked(a) {
+		t.Fatal("fresh object marked")
+	}
+	h.SetMarked(a)
+	if !h.IsMarked(a) {
+		t.Fatal("mark lost")
+	}
+	h.ClearMark(a)
+	if h.IsMarked(a) {
+		t.Fatal("mark not cleared")
+	}
+
+	h.SetAge(a, 3)
+	if h.Age(a) != 3 {
+		t.Fatalf("age = %d", h.Age(a))
+	}
+	h.SetAge(a, 99)
+	if h.Age(a) != 31 {
+		t.Fatalf("age should saturate at 31, got %d", h.Age(a))
+	}
+}
+
+func TestForwarding(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	a := h.AllocInstance(node)
+	b := h.AllocInstance(node)
+	h.SetAge(a, 5)
+	if h.IsForwarded(a) {
+		t.Fatal("fresh object forwarded")
+	}
+	h.Forward(a, b)
+	if !h.IsForwarded(a) {
+		t.Fatal("forwarding bit lost")
+	}
+	if h.Forwardee(a) != b {
+		t.Fatalf("forwardee %#x, want %#x", h.Forwardee(a), b)
+	}
+	if h.Age(a) != 5 {
+		t.Fatal("forwarding clobbered age")
+	}
+}
+
+func TestForwardingRoundTripProperty(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	a := h.AllocInstance(node)
+	lo, hi := h.Bounds()
+	f := func(raw uint64, age uint8) bool {
+		to := Addr(raw) % (hi - lo) / 8 * 8 // any word-aligned heap offset
+		to += lo
+		h.SetWord(a, 0)
+		h.SetAge(a, int(age%32))
+		h.Forward(a, to)
+		return h.Forwardee(a) == to && h.Age(a) == int(age%32) && h.IsForwarded(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoots(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	a := h.AllocInstance(node)
+	b := h.AllocInstance(node)
+	i := h.AddRoot(a)
+	j := h.AddRoot(b)
+	if h.Root(i) != a || h.Root(j) != b || h.NumRoots() != 2 {
+		t.Fatal("root bookkeeping")
+	}
+	h.SetRoot(i, 0)
+	if h.Root(i) != 0 {
+		t.Fatal("root not cleared")
+	}
+	h.ClearRoots()
+	if h.NumRoots() != 0 {
+		t.Fatal("roots not cleared")
+	}
+}
+
+func TestWalkSpace(t *testing.T) {
+	h, node, arr, _ := newTestHeap()
+	want := []Addr{
+		h.AllocInstance(node),
+		h.AllocArray(arr, 7),
+		h.AllocInstance(node),
+	}
+	var got []Addr
+	h.WalkSpace(h.Eden, func(a Addr) { got = append(got, a) })
+	if len(got) != len(want) {
+		t.Fatalf("walk found %d objects, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d] = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCopyWords(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	a := h.AllocInstance(node)
+	h.StoreRef(a, 2, 0xdead00)
+	h.SetWord(a+32, 42)
+	dst := h.Old.Base
+	h.CopyWords(dst, a, 5)
+	if h.Word(dst+16) != 0xdead00 || h.Word(dst+32) != 42 {
+		t.Fatal("copy did not preserve contents")
+	}
+	if h.Word(dst+8) != h.Word(a+8) {
+		t.Fatal("copy did not preserve header")
+	}
+}
+
+func TestRegionPredicates(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	a := h.AllocInstance(node)
+	if !h.InYoung(a) || h.InOld(a) {
+		t.Fatal("eden object misclassified")
+	}
+	if !h.Contains(a) {
+		t.Fatal("Contains false for live object")
+	}
+	if h.Contains(0) || h.Contains(h.To.Limit) {
+		t.Fatal("Contains true outside heap")
+	}
+	if !h.InOld(h.Old.Base) {
+		t.Fatal("old base not in old")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	h, _, _, _ := newTestHeap()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds access")
+		}
+	}()
+	h.Word(4)
+}
+
+func TestUnalignedPanics(t *testing.T) {
+	h, _, _, _ := newTestHeap()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unaligned access")
+		}
+	}()
+	h.Word(h.Eden.Base + 3)
+}
+
+func TestSwapSurvivors(t *testing.T) {
+	h, _, _, _ := newTestHeap()
+	f, to := h.From, h.To
+	h.SwapSurvivors()
+	if h.From != to || h.To != f {
+		t.Fatal("survivors not swapped")
+	}
+}
+
+func TestStatsTracking(t *testing.T) {
+	h, node, _, _ := newTestHeap()
+	h.AllocInstance(node)
+	h.AllocInstance(node)
+	if h.Stats.AllocatedObjects != 2 || h.Stats.AllocatedBytes != 80 {
+		t.Fatalf("stats %+v", h.Stats)
+	}
+}
+
+func TestKlassTable(t *testing.T) {
+	tbl, node, _, _ := testKlasses()
+	if tbl.Len() != 3 {
+		t.Fatalf("len = %d", tbl.Len())
+	}
+	if tbl.ByName("Node") != node || tbl.Get(node.ID) != node {
+		t.Fatal("lookup failed")
+	}
+	if tbl.Get(0) != nil || tbl.Get(999) != nil {
+		t.Fatal("invalid ids should return nil")
+	}
+	count := 0
+	tbl.All(func(*Klass) { count++ })
+	if count != 3 {
+		t.Fatalf("All visited %d", count)
+	}
+}
+
+func TestKlassKindProperties(t *testing.T) {
+	if NumKlassKinds != 15 {
+		t.Fatalf("paper says 15 metadata types, enum has %d", NumKlassKinds)
+	}
+	if !KindInstance.IsDataKind() || !KindObjArray.IsDataKind() || !KindTypeArray.IsDataKind() {
+		t.Fatal("data kinds misclassified")
+	}
+	if KindMethod.IsDataKind() || KindConstantPool.IsDataKind() {
+		t.Fatal("metadata kinds misclassified as data")
+	}
+	if KindInstance.String() != "instance" || KindTypeArrayKlass.String() != "typeArrayKlass" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	for name, k := range map[string]Klass{
+		"empty name":    {Kind: KindInstance, InstanceWords: 3},
+		"tiny instance": {Name: "T", Kind: KindInstance, InstanceWords: 1},
+		"bad offset":    {Name: "B", Kind: KindInstance, InstanceWords: 3, RefOffsets: []int32{0}},
+		"bad elem":      {Name: "E", Kind: KindTypeArray, ElemBytes: 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			NewTable().Define(k)
+		}()
+	}
+	// Duplicate names panic too.
+	tbl := NewTable()
+	tbl.Define(Klass{Name: "X", Kind: KindInstance, InstanceWords: 2})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("duplicate define should panic")
+			}
+		}()
+		tbl.Define(Klass{Name: "X", Kind: KindInstance, InstanceWords: 2})
+	}()
+}
+
+func BenchmarkAllocInstance(b *testing.B) {
+	tbl := NewTable()
+	node := tbl.Define(Klass{Name: "Node", Kind: KindInstance, InstanceWords: 5, RefOffsets: []int32{2}})
+	h := New(DefaultConfig(64<<20), tbl)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.AllocInstance(node) == 0 {
+			h.Eden.Reset()
+		}
+	}
+}

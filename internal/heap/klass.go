@@ -1,0 +1,170 @@
+// Package heap implements the JVM-like heap substrate the collector runs
+// on: a generational heap (Eden, two Survivor semispaces, Old) with
+// HotSpot-style object headers, a klass (class metadata) system with
+// per-kind object-iteration strategies, bump-pointer allocation, and the
+// old-to-young write barrier that dirties the card table.
+//
+// Addresses are simulated physical byte addresses (the paper pins huge
+// pages, so virtual≡physical up to a constant); the heap owns a word
+// arena backing them. The null reference is address 0.
+package heap
+
+import "fmt"
+
+// KlassKind enumerates HotSpot's class metadata layouts. Section 4.4 notes
+// 15 distinct metadata types, each needing its own iteration strategy;
+// Charon's Scan&Push unit handles the dominant data kinds (instances and
+// arrays) and leaves the rest (runtime metadata kinds) to the host.
+type KlassKind uint8
+
+const (
+	// KindInstance is a plain Java object with fixed fields.
+	KindInstance KlassKind = iota
+	// KindInstanceRef is java.lang.ref.Reference and subclasses.
+	KindInstanceRef
+	// KindInstanceMirror is java.lang.Class instances.
+	KindInstanceMirror
+	// KindInstanceClassLoader is class loader instances.
+	KindInstanceClassLoader
+	// KindObjArray is an array of references.
+	KindObjArray
+	// KindTypeArray is an array of primitives.
+	KindTypeArray
+	// The remaining kinds are HotSpot runtime metadata objects; they occur
+	// rarely in the heap and always take the host (non-offloaded) path.
+	KindMethod
+	KindConstMethod
+	KindMethodData
+	KindConstantPool
+	KindConstantPoolCache
+	KindKlass
+	KindArrayKlass
+	KindObjArrayKlass
+	KindTypeArrayKlass
+
+	numKlassKinds
+)
+
+// NumKlassKinds is the number of distinct metadata layouts (15, matching
+// Section 4.4).
+const NumKlassKinds = int(numKlassKinds)
+
+var kindNames = [...]string{
+	"instance", "instanceRef", "instanceMirror", "instanceClassLoader",
+	"objArray", "typeArray", "method", "constMethod", "methodData",
+	"constantPool", "constantPoolCache", "klass", "arrayKlass",
+	"objArrayKlass", "typeArrayKlass",
+}
+
+// String returns the HotSpot-style kind name.
+func (k KlassKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsDataKind reports whether objects of this kind are among the dominant
+// data types Charon's Scan&Push unit supports in hardware.
+func (k KlassKind) IsDataKind() bool {
+	switch k {
+	case KindInstance, KindInstanceRef, KindObjArray, KindTypeArray:
+		return true
+	}
+	return false
+}
+
+// KlassID indexes the klass table (a stand-in for HotSpot's compressed
+// class pointers).
+type KlassID uint32
+
+// Klass is one class's metadata.
+type Klass struct {
+	ID   KlassID
+	Name string
+	Kind KlassKind
+
+	// InstanceWords is the total object size in 8-byte words including the
+	// two header words. Valid for non-array kinds.
+	InstanceWords int
+
+	// RefOffsets lists the word offsets (from the object start) of
+	// reference fields, ascending. Valid for non-array kinds.
+	RefOffsets []int32
+
+	// ElemBytes is the primitive element size for KindTypeArray (1, 2, 4
+	// or 8). KindObjArray elements are always 8-byte references.
+	ElemBytes int
+}
+
+// IsArray reports whether instances carry a length and variable size.
+func (k *Klass) IsArray() bool {
+	return k.Kind == KindObjArray || k.Kind == KindTypeArray
+}
+
+// Table is the klass registry. Index 0 is reserved (invalid), so a zeroed
+// header word is never a valid klass.
+type Table struct {
+	klasses []*Klass
+	byName  map[string]*Klass
+}
+
+// NewTable returns a table with the reserved null entry.
+func NewTable() *Table {
+	return &Table{klasses: []*Klass{nil}, byName: map[string]*Klass{}}
+}
+
+// Define registers a klass and assigns its ID. Panics on duplicate names
+// or invalid geometry, since those are programming errors in workload
+// definitions.
+func (t *Table) Define(k Klass) *Klass {
+	if k.Name == "" {
+		panic("heap: klass with empty name")
+	}
+	if _, dup := t.byName[k.Name]; dup {
+		panic("heap: duplicate klass " + k.Name)
+	}
+	if k.IsArray() {
+		if k.Kind == KindObjArray {
+			k.ElemBytes = 8
+		}
+		if k.ElemBytes != 1 && k.ElemBytes != 2 && k.ElemBytes != 4 && k.ElemBytes != 8 {
+			panic(fmt.Sprintf("heap: klass %s: bad element size %d", k.Name, k.ElemBytes))
+		}
+	} else {
+		if k.InstanceWords < HeaderWords {
+			panic(fmt.Sprintf("heap: klass %s: size %d below header", k.Name, k.InstanceWords))
+		}
+		for _, off := range k.RefOffsets {
+			if int(off) < HeaderWords || int(off) >= k.InstanceWords {
+				panic(fmt.Sprintf("heap: klass %s: ref offset %d out of range", k.Name, off))
+			}
+		}
+	}
+	kp := &k
+	kp.ID = KlassID(len(t.klasses))
+	t.klasses = append(t.klasses, kp)
+	t.byName[k.Name] = kp
+	return kp
+}
+
+// Get returns the klass for id, or nil for the reserved/unknown ids.
+func (t *Table) Get(id KlassID) *Klass {
+	if int(id) >= len(t.klasses) {
+		return nil
+	}
+	return t.klasses[id]
+}
+
+// ByName looks a klass up by name.
+func (t *Table) ByName(name string) *Klass { return t.byName[name] }
+
+// Len returns the number of defined klasses (excluding the reserved slot).
+func (t *Table) Len() int { return len(t.klasses) - 1 }
+
+// All iterates over defined klasses.
+func (t *Table) All(fn func(*Klass)) {
+	for _, k := range t.klasses[1:] {
+		fn(k)
+	}
+}

@@ -1,0 +1,343 @@
+// Package hmc models the Hybrid Memory Cube main-memory system from
+// Table 2: four cubes of 32 vaults each (320 GB/s internal bandwidth per
+// cube), connected to the host and to each other by 80 GB/s serial links
+// with 3 ns latency, in a star topology centred on cube 0 (Figure 5(a)).
+//
+// Two access paths exist, mirroring the paper:
+//
+//   - the host path: requests traverse the host link into cube 0 and are
+//     routed onwards, paying link serialization both ways — this is the
+//     "HMC" baseline of Figure 12, which enjoys more off-chip bandwidth
+//     than DDR4 but cannot touch the internal TSV bandwidth;
+//   - the near-memory path: a Charon processing unit on a cube's logic
+//     layer accesses its local vaults directly over TSVs, or remote cubes
+//     through inter-cube links without consuming host-link bandwidth —
+//     this is what unlocks the Figure 13 bandwidth numbers.
+package hmc
+
+import (
+	"charonsim/internal/dram"
+	"charonsim/internal/memsys"
+	"charonsim/internal/sim"
+)
+
+// Packet framing from Section 4.1: every HMC packet carries a 16 B
+// header+tail. Offload requests are 48 B; responses 16 B (no value) or
+// 32 B (with value).
+const (
+	PacketOverhead  = 16
+	OffloadReqBytes = 48
+	RespPlainBytes  = 16
+	RespValueBytes  = 32
+)
+
+// Topology selects how the cubes are interconnected (Section 4.6 notes
+// the architecture is not tied to one topology; Figure 5 shows the star).
+type Topology int
+
+const (
+	// Star: cube 0 is the centre, attached to the host; cubes 1..3 hang
+	// off cube 0 (the paper's evaluated configuration).
+	Star Topology = iota
+	// Chain: host - cube0 - cube1 - cube2 - cube3; remote accesses pay
+	// one link per hop, trading wiring for worst-case latency (the
+	// daisy-chaining HMC's specification supports).
+	Chain
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	if t == Chain {
+		return "chain"
+	}
+	return "star"
+}
+
+// LinkConfig describes one serial link.
+type LinkConfig struct {
+	BytesPerSec float64  // 80 GB/s in Table 2
+	Latency     sim.Time // 3 ns propagation
+}
+
+// DefaultLinkConfig returns Table 2's link parameters.
+func DefaultLinkConfig() LinkConfig {
+	return LinkConfig{BytesPerSec: 80e9, Latency: 3 * sim.Nanosecond}
+}
+
+// Link is a full-duplex serial link. Each direction serializes packets at
+// the configured bandwidth; propagation latency is added after
+// serialization.
+type Link struct {
+	eng  *sim.Engine
+	cfg  LinkConfig
+	lane [2]*sim.Calendar // per-direction serialization occupancy
+
+	Stats memsys.Stats
+}
+
+// Directions for Link.Transfer.
+const (
+	DirDown = 0 // toward memory (host→cube, centre→leaf)
+	DirUp   = 1 // toward host (cube→host, leaf→centre)
+)
+
+// NewLink creates a link on eng.
+func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
+	return &Link{eng: eng, cfg: cfg, lane: [2]*sim.Calendar{
+		sim.NewCalendar(50 * sim.Nanosecond),
+		sim.NewCalendar(50 * sim.Nanosecond),
+	}}
+}
+
+// serTime returns the serialization time for n bytes.
+func (l *Link) serTime(n uint32) sim.Time {
+	return sim.Time(float64(n) / l.cfg.BytesPerSec * 1e12)
+}
+
+// TransferAt schedules a packet of n bytes in direction dir no earlier
+// than start, returning its arrival time at the far end.
+func (l *Link) TransferAt(start sim.Time, dir int, n uint32) sim.Time {
+	if t := l.eng.Now(); t > start {
+		start = t
+	}
+	ser := l.serTime(n)
+	end := l.lane[dir].Reserve(start, ser)
+	kind := memsys.Read
+	if dir == DirDown {
+		kind = memsys.Write
+	}
+	l.Stats.Record(&memsys.Request{Kind: kind, Size: n})
+	return end + l.cfg.Latency
+}
+
+// Busy returns accumulated serialization occupancy per direction.
+func (l *Link) Busy(dir int) sim.Time { return l.lane[dir].Busy }
+
+// Cube is one HMC stack: 32 vault controllers behind the logic layer.
+type Cube struct {
+	ID     int
+	eng    *sim.Engine
+	vaults []*dram.Controller
+	mapper *memsys.HMCMapper
+
+	// TSVStats counts traffic through this cube's internal TSVs.
+	TSVStats memsys.Stats
+}
+
+func newCube(eng *sim.Engine, id int, m *memsys.HMCMapper) *Cube {
+	c := &Cube{ID: id, eng: eng, mapper: m}
+	for v := 0; v < m.Vaults; v++ {
+		c.vaults = append(c.vaults, dram.NewController(eng, dram.HMCVaultTiming(), m.Banks))
+	}
+	return c
+}
+
+// AccessAt reserves a vault access for a request already routed to this
+// cube, starting no earlier than start, and returns the completion time.
+// The caller must have mapped addr to this cube.
+func (c *Cube) AccessAt(start sim.Time, kind memsys.Kind, addr uint64, size uint32) sim.Time {
+	var last sim.Time
+	memsys.SplitBursts(addr, size, c.mapper.VaultGrain, func(a uint64, s uint32) {
+		coord := c.mapper.Map(a)
+		done := c.vaults[coord.Rank].AccessAt(start, kind, coord.Bank, coord.Row, s)
+		if done > last {
+			last = done
+		}
+	})
+	c.TSVStats.Record(&memsys.Request{Kind: kind, Size: size})
+	return last
+}
+
+// Vaults exposes the vault controllers (for stats and tests).
+func (c *Cube) Vaults() []*dram.Controller { return c.vaults }
+
+// System is the full four-cube network. In the star topology cube 0 is
+// the centre attached to the host with cubes 1..3 hanging off it; in the
+// chain topology link i connects cube i-1 to cube i.
+type System struct {
+	eng    *sim.Engine
+	mapper *memsys.HMCMapper
+	cubes  []*Cube
+	topo   Topology
+
+	hostLink  *Link   // host <-> cube 0
+	cubeLinks []*Link // star: cube0 <-> cube i; chain: cube i-1 <-> cube i (index 0 unused)
+
+	// LocalAccesses / RemoteAccesses classify near-memory accesses for
+	// Figure 13's locality ratio.
+	LocalAccesses  uint64
+	RemoteAccesses uint64
+}
+
+// NewSystem builds the Table 2 HMC system (star topology) with the given
+// cube-interleave shift (see memsys.NewHMCMapper).
+func NewSystem(eng *sim.Engine, cubeShift uint) *System {
+	return NewSystemTopology(eng, cubeShift, Star)
+}
+
+// NewSystemTopology builds the system with an explicit cube topology.
+func NewSystemTopology(eng *sim.Engine, cubeShift uint, topo Topology) *System {
+	m := memsys.NewHMCMapper(cubeShift)
+	s := &System{eng: eng, mapper: m, topo: topo, hostLink: NewLink(eng, DefaultLinkConfig())}
+	for i := 0; i < m.Cubes; i++ {
+		s.cubes = append(s.cubes, newCube(eng, i, m))
+		s.cubeLinks = append(s.cubeLinks, NewLink(eng, DefaultLinkConfig()))
+	}
+	return s
+}
+
+// Topology returns the cube interconnect shape.
+func (s *System) Topology() Topology { return s.topo }
+
+// routeDown sends a packet of n bytes from cube `from` toward cube `to`
+// (both host-side direction semantics: DirDown moves away from the host),
+// starting at t; returns arrival. from==to returns t.
+func (s *System) routeDown(t sim.Time, from, to int, n uint32) sim.Time {
+	if s.topo == Chain {
+		for c := from + 1; c <= to; c++ {
+			t = s.cubeLinks[c].TransferAt(t, DirDown, n)
+		}
+		for c := from; c > to; c-- {
+			t = s.cubeLinks[c].TransferAt(t, DirUp, n)
+		}
+		return t
+	}
+	// Star: any cross-cube route passes the centre.
+	if from == to {
+		return t
+	}
+	if from != 0 {
+		t = s.cubeLinks[from].TransferAt(t, DirUp, n)
+	}
+	if to != 0 {
+		t = s.cubeLinks[to].TransferAt(t, DirDown, n)
+	}
+	return t
+}
+
+// routeUp is the response path (reverse direction semantics).
+func (s *System) routeUp(t sim.Time, from, to int, n uint32) sim.Time {
+	if s.topo == Chain {
+		for c := from; c > to; c-- {
+			t = s.cubeLinks[c].TransferAt(t, DirUp, n)
+		}
+		for c := from + 1; c <= to; c++ {
+			t = s.cubeLinks[c].TransferAt(t, DirDown, n)
+		}
+		return t
+	}
+	if from == to {
+		return t
+	}
+	if from != 0 {
+		t = s.cubeLinks[from].TransferAt(t, DirUp, n)
+	}
+	if to != 0 {
+		t = s.cubeLinks[to].TransferAt(t, DirDown, n)
+	}
+	return t
+}
+
+// Mapper returns the system's address mapping.
+func (s *System) Mapper() *memsys.HMCMapper { return s.mapper }
+
+// Cubes returns the cube models.
+func (s *System) Cubes() []*Cube { return s.cubes }
+
+// HostLink returns the host<->cube0 link.
+func (s *System) HostLink() *Link { return s.hostLink }
+
+// CubeLink returns the cube0<->cube i link (i in 1..3).
+func (s *System) CubeLink(i int) *Link { return s.cubeLinks[i] }
+
+// Submit implements memsys.Port for host-side accesses: the request packet
+// traverses the host link into cube 0, is routed to the home cube, accesses
+// its vaults, and the response (header + data for reads) returns the same
+// way. OnDone fires at response arrival.
+func (s *System) Submit(r *memsys.Request) {
+	r.IssuedAt = s.eng.Now()
+	done := s.HostAccessAt(s.eng.Now(), r.Kind, r.Addr, r.Size)
+	if r.OnDone != nil {
+		s.eng.At(done, r.OnDone)
+	}
+}
+
+// HostAccessAt reserves a host-path access starting no earlier than start
+// and returns its completion time: for reads, the response fully received
+// by the host; for writes, the posted-write acknowledgement (the host-side
+// controller acks once the packet is buffered onto the link — the full
+// path is still reserved so the bandwidth is charged).
+func (s *System) HostAccessAt(start sim.Time, kind memsys.Kind, addr uint64, size uint32) sim.Time {
+	cube := s.mapper.Cube(addr)
+	reqBytes := uint32(PacketOverhead)
+	respBytes := uint32(PacketOverhead)
+	if kind == memsys.Write {
+		reqBytes += size
+	} else {
+		respBytes += size
+	}
+	// Host link down, then route to the home cube.
+	posted := s.hostLink.TransferAt(start, DirDown, reqBytes)
+	at := s.routeDown(posted, 0, cube, reqBytes)
+	at = s.cubes[cube].AccessAt(at, kind, addr, size)
+	// Response path back.
+	at = s.routeUp(at, cube, 0, respBytes)
+	at = s.hostLink.TransferAt(at, DirUp, respBytes)
+	if kind == memsys.Write {
+		return posted
+	}
+	return at
+}
+
+// NearAccessAt reserves an access issued by a processing unit on cube
+// `from` starting no earlier than start. Local accesses use the cube's
+// TSVs directly; remote accesses traverse the star (leaf→centre→leaf) and
+// pay packet overhead both ways, but never touch the host link.
+func (s *System) NearAccessAt(start sim.Time, from int, kind memsys.Kind, addr uint64, size uint32) sim.Time {
+	home := s.mapper.Cube(addr)
+	if home == from {
+		s.LocalAccesses++
+		return s.cubes[home].AccessAt(start, kind, addr, size)
+	}
+	s.RemoteAccesses++
+	reqBytes := uint32(PacketOverhead)
+	respBytes := uint32(PacketOverhead)
+	if kind == memsys.Write {
+		reqBytes += size
+	} else {
+		respBytes += size
+	}
+	at := s.routeDown(start, from, home, reqBytes)
+	at = s.cubes[home].AccessAt(at, kind, addr, size)
+	return s.routeUp(at, home, from, respBytes)
+}
+
+// LocalRatio returns the fraction of near-memory accesses serviced by the
+// issuing cube (Figure 13's line series).
+func (s *System) LocalRatio() float64 {
+	total := s.LocalAccesses + s.RemoteAccesses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LocalAccesses) / float64(total)
+}
+
+// TSVStats sums internal traffic over all cubes.
+func (s *System) TSVStats() memsys.Stats {
+	var st memsys.Stats
+	for _, c := range s.cubes {
+		st.Add(c.TSVStats)
+	}
+	return st
+}
+
+// VaultStats sums vault-level traffic over all cubes.
+func (s *System) VaultStats() memsys.Stats {
+	var st memsys.Stats
+	for _, c := range s.cubes {
+		for _, v := range c.Vaults() {
+			st.Add(v.Stats)
+		}
+	}
+	return st
+}

@@ -1,0 +1,135 @@
+package memsys
+
+import "fmt"
+
+// BankCoord identifies a unique DRAM bank (or HMC vault bank) plus the row
+// within it. Channel doubles as the HMC cube index and Rank as the vault
+// index when used with the HMC mapping.
+type BankCoord struct {
+	Channel int // DDR4 channel / HMC cube
+	Rank    int // DDR4 rank / HMC vault
+	Bank    int
+	Row     uint64
+}
+
+// Mapper translates a physical byte address to a bank coordinate.
+type Mapper interface {
+	Map(addr uint64) BankCoord
+	// Geometry returns (channels, ranksPerChannel, banksPerRank).
+	Geometry() (channels, ranks, banks int)
+}
+
+// DDR4Mapper implements the paper's DDR4 interleaving [row:col:bank:rank:ch]:
+// the channel is selected by the lowest line-granularity bits, then rank,
+// then bank, then column within the row, then row. Table 2: 32 GB, 2
+// channels, 4 ranks per channel, 8 banks per rank.
+type DDR4Mapper struct {
+	LineSize uint64 // interleave granularity between channels (bytes)
+	Channels int
+	Ranks    int
+	Banks    int
+	RowBytes uint64 // row-buffer size per bank
+}
+
+// NewDDR4Mapper returns the Table 2 DDR4 geometry: 2 channels, 4 ranks,
+// 8 banks, 8 KB row buffers, 64 B channel interleave.
+func NewDDR4Mapper() *DDR4Mapper {
+	return &DDR4Mapper{LineSize: 64, Channels: 2, Ranks: 4, Banks: 8, RowBytes: 8192}
+}
+
+// Geometry implements Mapper.
+func (m *DDR4Mapper) Geometry() (int, int, int) { return m.Channels, m.Ranks, m.Banks }
+
+// Map implements Mapper.
+func (m *DDR4Mapper) Map(addr uint64) BankCoord {
+	a := addr / m.LineSize
+	ch := a % uint64(m.Channels)
+	a /= uint64(m.Channels)
+	rank := a % uint64(m.Ranks)
+	a /= uint64(m.Ranks)
+	bank := a % uint64(m.Banks)
+	a /= uint64(m.Banks)
+	// a now counts LineSize units within this bank; fold into rows.
+	linesPerRow := m.RowBytes / m.LineSize
+	row := a / linesPerRow
+	return BankCoord{Channel: int(ch), Rank: int(rank), Bank: int(bank), Row: row}
+}
+
+// HMCMapper implements the paper's HMC interleaving
+// [cube[hi]:row:col:bank:rank:vault]: the cube is selected by high address
+// bits so that huge pages interleave across cubes (the paper uses physical
+// bits 31:30, i.e. 1 GB granularity, for full-scale heaps; scaled-down
+// experiments lower CubeShift proportionally), and within a cube vaults
+// occupy the lowest interleave bits. Table 2: 32 GB, 4 cubes, 32 vaults
+// per cube.
+type HMCMapper struct {
+	Cubes      int
+	CubeShift  uint // log2 of the cube-interleave granularity
+	Vaults     int
+	VaultGrain uint64 // vault interleave granularity (bytes)
+	Banks      int
+	RowBytes   uint64
+}
+
+// NewHMCMapper returns the Table 2 HMC geometry with the given cube-select
+// shift (30 for the paper's 1 GB huge pages; experiments at scaled heap
+// sizes pass a smaller shift so that the heap still spans all cubes).
+// Vaults occupy the lowest interleave position of the paper's mapping
+// ([..:bank:rank:vault]), at cache-line (64 B) granularity, so sequential
+// streams spread across all 32 vaults and a 256 B Charon request is
+// serviced by four vaults in parallel.
+func NewHMCMapper(cubeShift uint) *HMCMapper {
+	return &HMCMapper{Cubes: 4, CubeShift: cubeShift, Vaults: 32, VaultGrain: 64, Banks: 8, RowBytes: 4096}
+}
+
+// Geometry implements Mapper. Channels = cubes, ranks = vaults.
+func (m *HMCMapper) Geometry() (int, int, int) { return m.Cubes, m.Vaults, m.Banks }
+
+// Cube returns only the cube index for addr (used for offload scheduling:
+// Copy is dispatched to the cube housing its source address).
+func (m *HMCMapper) Cube(addr uint64) int {
+	return int((addr >> m.CubeShift) % uint64(m.Cubes))
+}
+
+// Map implements Mapper.
+func (m *HMCMapper) Map(addr uint64) BankCoord {
+	cube := m.Cube(addr)
+	// Remove the cube-select bits, collapsing the address within the cube.
+	low := addr & ((1 << m.CubeShift) - 1)
+	high := (addr >> m.CubeShift) / uint64(m.Cubes) << m.CubeShift
+	a := (high | low) / m.VaultGrain
+	vault := a % uint64(m.Vaults)
+	a /= uint64(m.Vaults)
+	bank := a % uint64(m.Banks)
+	a /= uint64(m.Banks)
+	grainsPerRow := m.RowBytes / m.VaultGrain
+	row := a / grainsPerRow
+	return BankCoord{Channel: cube, Rank: int(vault), Bank: int(bank), Row: row}
+}
+
+// String renders a coordinate for debugging.
+func (c BankCoord) String() string {
+	return fmt.Sprintf("ch%d/rk%d/bk%d/row%d", c.Channel, c.Rank, c.Bank, c.Row)
+}
+
+// SplitBursts splits a request's byte range into per-burst (or per-grain)
+// aligned chunks of at most grain bytes, calling fn for each chunk. Memory
+// controllers use this to turn a large (up to 256 B) access into individual
+// bank bursts.
+func SplitBursts(addr uint64, size uint32, grain uint64, fn func(addr uint64, size uint32)) {
+	end := addr + uint64(size)
+	for addr < end {
+		next := (addr/grain + 1) * grain
+		if next > end {
+			next = end
+		}
+		fn(addr, uint32(next-addr))
+		addr = next
+	}
+}
+
+// AlignDown rounds addr down to a multiple of grain.
+func AlignDown(addr, grain uint64) uint64 { return addr / grain * grain }
+
+// AlignUp rounds addr up to a multiple of grain.
+func AlignUp(addr, grain uint64) uint64 { return (addr + grain - 1) / grain * grain }

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCalendarSimpleReservation(t *testing.T) {
+	c := NewCalendar(100)
+	if end := c.Reserve(0, 10); end != 10 {
+		t.Fatalf("first reservation ends at %d", end)
+	}
+	if end := c.Reserve(0, 10); end != 20 {
+		t.Fatalf("second reservation ends at %d", end)
+	}
+	if c.Busy != 20 {
+		t.Fatalf("busy %d", c.Busy)
+	}
+}
+
+func TestCalendarBackfillsGaps(t *testing.T) {
+	// The defining behaviour vs a high-water cursor: a reservation far in
+	// the future must not block an earlier one.
+	c := NewCalendar(100)
+	late := c.Reserve(1000, 50)
+	if late != 1050 {
+		t.Fatalf("late reservation ends at %d", late)
+	}
+	early := c.Reserve(0, 50)
+	if early > 100 {
+		t.Fatalf("early reservation pushed to %d despite idle bucket", early)
+	}
+}
+
+func TestCalendarSpillsAcrossBuckets(t *testing.T) {
+	c := NewCalendar(100)
+	end := c.Reserve(0, 350) // 3.5 buckets
+	if end < 350 {
+		t.Fatalf("spilling reservation ended at %d", end)
+	}
+	// The next reservation starts after the spill.
+	if nxt := c.Reserve(0, 10); nxt <= end {
+		t.Fatalf("overlap: %d <= %d", nxt, end)
+	}
+}
+
+func TestCalendarZeroDuration(t *testing.T) {
+	c := NewCalendar(100)
+	if end := c.Reserve(42, 0); end != 42 {
+		t.Fatalf("zero reservation moved time to %d", end)
+	}
+}
+
+func TestCalendarZeroWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCalendar(0)
+}
+
+func TestCalendarNeverEndsBeforeStartPlusDur(t *testing.T) {
+	// Property: a reservation's end is always >= at+dur (no time travel),
+	// and total Busy equals the sum of durations (capacity conservation).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCalendar(Time(1 + rng.Intn(200)))
+		var total Time
+		for i := 0; i < 200; i++ {
+			at := Time(rng.Intn(5000))
+			dur := Time(rng.Intn(300))
+			end := c.Reserve(at, dur)
+			if dur > 0 && end < at+dur {
+				return false
+			}
+			total += dur
+		}
+		return c.Busy == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalendarThroughputBound(t *testing.T) {
+	// Saturating a calendar from time 0 yields end ≈ total work: the
+	// resource cannot serve more than one unit of work per unit time.
+	c := NewCalendar(100)
+	var end Time
+	const n, each = 500, 7
+	for i := 0; i < n; i++ {
+		end = c.Reserve(0, each)
+	}
+	if end < n*each {
+		t.Fatalf("served %d of work by %d: capacity violated", n*each, end)
+	}
+	if end > n*each+100 {
+		t.Fatalf("saturated calendar left gaps: end %d", end)
+	}
+}
+
+func TestCalendarUtilization(t *testing.T) {
+	c := NewCalendar(100)
+	c.Reserve(0, 500)
+	if u := c.Utilization(1000); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization %v", u)
+	}
+	if c.Utilization(0) != 0 {
+		t.Fatal("zero horizon")
+	}
+}

@@ -1,0 +1,153 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All timing models in this repository (DRAM banks, HMC links, host cores,
+// Charon processing units) are driven by a single Engine. Time is measured
+// in picoseconds so that components with different clock periods (e.g. the
+// 0.937 ns DDR4 clock and the 1.6 ns HMC clock from Table 2 of the paper)
+// can coexist without rounding drift.
+//
+// Determinism: events scheduled for the same instant fire in the order they
+// were scheduled (FIFO tie-break by sequence number), so a given
+// configuration always produces the same cycle counts.
+package sim
+
+import "container/heap"
+
+// Time is a simulated instant or duration in picoseconds.
+type Time uint64
+
+// Common duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * 1000
+	Millisecond Time = 1000 * 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000 * 1000
+)
+
+// Seconds converts a simulated duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Nanoseconds converts a simulated duration to floating-point nanoseconds.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	nsteps uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() uint64 { return e.nsteps }
+
+// Schedule runs fn after delay (possibly zero) relative to Now.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.seq++
+	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At runs fn at absolute time t. If t is in the past it runs at Now.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Pending reports whether any events remain.
+func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+
+// Step executes the next event and returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.nsteps++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued. Returns the engine time, which is
+// never advanced past deadline by this call.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// RunWhile executes events while cond() holds and events remain.
+func (e *Engine) RunWhile(cond func() bool) Time {
+	for cond() && e.Step() {
+	}
+	return e.now
+}
+
+// Clock converts between an integer cycle domain and engine time.
+type Clock struct {
+	Period Time // duration of one cycle in picoseconds
+}
+
+// NewClock returns a clock with the given period.
+func NewClock(period Time) Clock { return Clock{Period: period} }
+
+// Cycles converts a cycle count to a duration.
+func (c Clock) Cycles(n uint64) Time { return Time(n) * c.Period }
+
+// ToCycles converts a duration to whole cycles, rounding up.
+func (c Clock) ToCycles(t Time) uint64 {
+	if c.Period == 0 {
+		return 0
+	}
+	return uint64((t + c.Period - 1) / c.Period)
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.Schedule(7, tick)
+		}
+	}
+	e.Schedule(7, tick)
+	e.Run()
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 70 {
+		t.Fatalf("Now = %d, want 70", e.Now())
+	}
+}
+
+func TestEngineZeroDelay(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(0, func() { fired = true })
+	e.Step()
+	if !fired {
+		t.Fatal("zero-delay event did not fire")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("time advanced on zero-delay event: %d", e.Now())
+	}
+}
+
+func TestEngineAtClampsPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run()
+	fired := Time(0)
+	e.At(50, func() { fired = e.Now() })
+	e.Run()
+	if fired != 100 {
+		t.Fatalf("past event fired at %d, want clamped to 100", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, d := range []Time{10, 20, 30, 40} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %d, want 25", e.Now())
+	}
+	if !e.Pending() {
+		t.Fatal("expected pending events after RunUntil")
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestEngineRunWhile(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 100; i++ {
+		e.Schedule(Time(i), func() { n++ })
+	}
+	e.RunWhile(func() bool { return n < 10 })
+	if n != 10 {
+		t.Fatalf("RunWhile stopped at n=%d, want 10", n)
+	}
+}
+
+func TestEngineRandomOrderProperty(t *testing.T) {
+	// Property: regardless of scheduling order, events fire sorted by time.
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, d := range delays {
+			d := Time(d)
+			e.Schedule(d, func() { fired = append(fired, d) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			e.Schedule(Time(rng.Intn(50)), func() { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	// DDR4 tCK = 0.937ns = 937ps from Table 2.
+	c := NewClock(937 * Picosecond)
+	if got := c.Cycles(100); got != 93700 {
+		t.Fatalf("Cycles(100) = %d, want 93700", got)
+	}
+	if got := c.ToCycles(93700); got != 100 {
+		t.Fatalf("ToCycles = %d, want 100", got)
+	}
+	// Rounding up: one picosecond over needs one extra cycle.
+	if got := c.ToCycles(93701); got != 101 {
+		t.Fatalf("ToCycles round-up = %d, want 101", got)
+	}
+	if NewClock(0).ToCycles(12345) != 0 {
+		t.Fatal("zero-period clock should yield 0 cycles")
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e12*Picosecond {
+		t.Fatal("unit mismatch")
+	}
+	if got := (2 * Millisecond).Seconds(); got != 0.002 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if got := (3 * Nanosecond).Nanoseconds(); got != 3 {
+		t.Fatalf("Nanoseconds = %v", got)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j%97), func() {})
+		}
+		e.Run()
+	}
+}

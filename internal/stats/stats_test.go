@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %v, want 4", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geomean of zero should panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+func TestGeomeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMax(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 || Mean(nil) != 0 {
+		t.Fatal("mean")
+	}
+	if Max([]float64{3, 9, 1}) != 9 || Max(nil) != 0 {
+		t.Fatal("max")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "workload", "DDR4", "Charon")
+	tb.AddFloats("BS", 2, 1.0, 3.29)
+	tb.AddRow("KM", "1.00", "2.50")
+	out := tb.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "3.29") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and row share the column start offsets.
+	if strings.Index(lines[1], "DDR4") != strings.Index(lines[3], "1.00") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := Percentiles(xs, 0, 0.5, 1)
+	if got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Fatalf("percentiles %v", got)
+	}
+	if p := Percentiles(nil, 0.5); p[0] != 0 {
+		t.Fatal("empty percentiles")
+	}
+	// Interpolation.
+	if p := Percentiles([]float64{0, 10}, 0.25)[0]; math.Abs(p-2.5) > 1e-12 {
+		t.Fatalf("interp = %v", p)
+	}
+}

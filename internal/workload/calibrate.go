@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"charonsim/internal/gc"
+	"charonsim/internal/heap"
+)
+
+// PrepareBytes builds a (non-recording) collector over an explicit heap
+// size, for calibration runs.
+func PrepareBytes(heapBytes uint64) *gc.Collector {
+	h := heap.New(heap.DefaultConfig(heapBytes/4096*4096), StandardKlasses())
+	return gc.New(h)
+}
+
+// FindMinHeap searches for the smallest heap (4 KB granularity, within
+// [lo, hi] bytes) on which the workload completes without OOM — the
+// procedure Section 3.1 describes for establishing each benchmark's
+// minimum heap before overprovisioning it by 25-100%. Runs the workload
+// O(log((hi-lo)/4KB)) times with recording disabled.
+func FindMinHeap(f Factory, lo, hi uint64) uint64 {
+	const page = 4096
+	loP, hiP := lo/page, hi/page
+	if loP < 1 {
+		loP = 1
+	}
+	ok := func(pages uint64) bool {
+		w := f()
+		c := PrepareBytes(pages * page)
+		return w.Run(c) == nil
+	}
+	if !ok(hiP) {
+		return 0 // does not fit even at hi
+	}
+	for loP < hiP {
+		mid := (loP + hiP) / 2
+		if ok(mid) {
+			hiP = mid
+		} else {
+			loP = mid + 1
+		}
+	}
+	return hiP * page
+}
+
+// CalibratedMinHeap finds the true minimum heap for a registered workload
+// by searching below its declared minimum (and slightly above, in case
+// the declaration is optimistic).
+func CalibratedMinHeap(name string) (uint64, error) {
+	f, ok := registry[name]
+	if !ok {
+		return 0, errUnknown(name)
+	}
+	spec := f().Spec()
+	return FindMinHeap(f, spec.MinHeapBytes/4, spec.MinHeapBytes*2), nil
+}
+
+func errUnknown(name string) error {
+	_, err := New(name)
+	return err
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"charonsim/internal/gc"
+	"charonsim/internal/heap"
+)
+
+// Standard klass names used by all synthetic workloads.
+const (
+	KDoubleArray = "double[]"
+	KIntArray    = "int[]"
+	KByteArray   = "byte[]"
+	KObjArray    = "Object[]"
+	KRow         = "Row"      // RDD row: values array + label
+	KKeyValue    = "KeyValue" // shuffle pair
+	KVertex      = "Vertex"   // graph vertex: edge array + 2 data words
+	KModel       = "Model"    // long-lived aggregate: weights + stats
+	KString      = "String"   // byte[] holder
+	KHashNode    = "HashNode" // chained hash map node
+)
+
+// StandardKlasses builds the type universe shared by the workloads. The
+// reference-field offsets mirror typical HotSpot layouts: references first
+// after the header, then primitive fields.
+func StandardKlasses() *heap.Table {
+	t := heap.NewTable()
+	t.Define(heap.Klass{Name: KDoubleArray, Kind: heap.KindTypeArray, ElemBytes: 8})
+	t.Define(heap.Klass{Name: KIntArray, Kind: heap.KindTypeArray, ElemBytes: 4})
+	t.Define(heap.Klass{Name: KByteArray, Kind: heap.KindTypeArray, ElemBytes: 1})
+	t.Define(heap.Klass{Name: KObjArray, Kind: heap.KindObjArray})
+	// Row: {header, values -> double[], label word, weight word}
+	t.Define(heap.Klass{Name: KRow, Kind: heap.KindInstance, InstanceWords: 5, RefOffsets: []int32{2}})
+	// KeyValue: {header, key -> obj, value -> obj, hash word}
+	t.Define(heap.Klass{Name: KKeyValue, Kind: heap.KindInstance, InstanceWords: 5, RefOffsets: []int32{2, 3}})
+	// Vertex: {header, edges -> Object[], data -> double[], label, rank}
+	t.Define(heap.Klass{Name: KVertex, Kind: heap.KindInstance, InstanceWords: 6, RefOffsets: []int32{2, 3}})
+	// Model: {header, weights -> double[], history -> Object[], 4 stats}
+	t.Define(heap.Klass{Name: KModel, Kind: heap.KindInstance, InstanceWords: 8, RefOffsets: []int32{2, 3}})
+	// String: {header, bytes -> byte[], hash}
+	t.Define(heap.Klass{Name: KString, Kind: heap.KindInstance, InstanceWords: 4, RefOffsets: []int32{2}})
+	// HashNode: {header, key -> obj, value -> obj, next -> HashNode, hash}
+	t.Define(heap.Klass{Name: KHashNode, Kind: heap.KindInstance, InstanceWords: 6, RefOffsets: []int32{2, 3, 4}})
+	return t
+}
+
+// mutator wraps the collector with root-handle-based object access, so
+// workload code never holds raw addresses across a potential GC (exactly
+// the discipline a real mutator's stack maps enforce).
+type mutator struct {
+	c   *gc.Collector
+	h   *heap.Heap
+	oom bool
+}
+
+func newMutator(c *gc.Collector) *mutator {
+	return &mutator{c: c, h: c.H}
+}
+
+// alloc* return root handles (indices), or -1 on OOM.
+
+func (m *mutator) allocArray(klass string, n int) int {
+	if m.oom {
+		return -1
+	}
+	a := m.c.AllocArray(m.h.Klasses().ByName(klass), n)
+	if a == 0 {
+		m.oom = true
+		return -1
+	}
+	return m.h.AddRoot(a)
+}
+
+func (m *mutator) allocInstance(klass string) int {
+	if m.oom {
+		return -1
+	}
+	a := m.c.AllocInstance(m.h.Klasses().ByName(klass))
+	if a == 0 {
+		m.oom = true
+		return -1
+	}
+	return m.h.AddRoot(a)
+}
+
+// get resolves a root handle to the object's current address (0 for the
+// OOM sentinel -1).
+func (m *mutator) get(root int) heap.Addr {
+	if root < 0 {
+		return 0
+	}
+	return m.h.Root(root)
+}
+
+// drop clears a root handle (the object becomes collectible unless
+// referenced elsewhere). No-op on the OOM sentinel.
+func (m *mutator) drop(root int) {
+	if root < 0 {
+		return
+	}
+	m.h.SetRoot(root, 0)
+}
+
+// setRef stores dst-root's object into a reference slot of src-root's
+// object (both resolved at store time).
+func (m *mutator) setRef(srcRoot, wordOff, dstRoot int) {
+	if m.oom || srcRoot < 0 {
+		return
+	}
+	dst := heap.Addr(0)
+	if dstRoot >= 0 {
+		dst = m.get(dstRoot)
+	}
+	m.h.StoreRef(m.get(srcRoot), wordOff, dst)
+}
+
+// setElem stores dst-root's object into element i of src-root's object
+// array.
+func (m *mutator) setElem(arrRoot, i, dstRoot int) {
+	if m.oom || arrRoot < 0 {
+		return
+	}
+	dst := heap.Addr(0)
+	if dstRoot >= 0 {
+		dst = m.get(dstRoot)
+	}
+	m.h.StoreRef(m.get(arrRoot), heap.HeaderWords+i, dst)
+}
+
+// refIn stores object b directly into slot of object a, both given as
+// addresses valid *now* (no allocation may intervene).
+func (m *mutator) err() error {
+	if m.oom {
+		return errOOM
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"errors"
+
+	"charonsim/internal/gc"
+)
+
+var errOOM = errors.New("workload: heap exhausted (OOM)")
+
+// jobEndGC runs the end-of-job full collection in the collector's
+// configured mode.
+func jobEndGC(c *gc.Collector) {
+	switch c.Mode {
+	case gc.ModeCMS:
+		c.MarkSweepGC("job-end")
+	case gc.ModeG1:
+		c.MixedGC("job-end")
+	default:
+		c.MajorGC("job-end")
+	}
+}
+
+func init() {
+	register("BS", func() Workload {
+		return &sparkML{
+			spec: Spec{
+				Name: "BS", Long: "Bayesian Classifier", Framework: "Spark",
+				Dataset: "KDD 2010 (synthetic equivalent)", PaperHeap: "10GB",
+				MinHeapBytes: 20 << 20, MutatorByteCost: 140,
+			},
+			seed: 0xb5, features: 256, rowsPerBatch: 96, batches: 16,
+			iters: 24, cacheEvery: 5, cacheSlots: 40, aggregates: 24,
+		}
+	})
+	register("KM", func() Workload {
+		return &sparkML{
+			spec: Spec{
+				Name: "KM", Long: "k-means Clustering", Framework: "Spark",
+				Dataset: "KDD 2010 (synthetic equivalent)", PaperHeap: "8GB",
+				MinHeapBytes: 16 << 20, MutatorByteCost: 170,
+			},
+			seed: 0x3c, features: 128, rowsPerBatch: 128, batches: 14,
+			iters: 26, cacheEvery: 4, cacheSlots: 44, aggregates: 16, centroids: 16,
+		}
+	})
+	register("LR", func() Workload {
+		return &sparkML{
+			spec: Spec{
+				Name: "LR", Long: "Logistic Regression", Framework: "Spark",
+				Dataset: "URL Reputation (synthetic equivalent)", PaperHeap: "12GB",
+				MinHeapBytes: 24 << 20, MutatorByteCost: 150,
+			},
+			seed: 0x17, features: 384, rowsPerBatch: 72, batches: 16,
+			iters: 24, cacheEvery: 6, cacheSlots: 56, aggregates: 32, sparse: true,
+		}
+	})
+}
+
+// sparkML models the Spark machine-learning benchmarks: iterative
+// processing of RDD partitions. Each batch allocates a partition of large
+// rows (feature vectors), derives shuffle aggregates, then drops the
+// partition — the "few large objects with few references and short
+// lifetimes" demographic the paper attributes to Spark (Section 5.2). A
+// long-lived model object accumulates per-iteration state, creating
+// old-to-young references that exercise Search.
+type sparkML struct {
+	spec Spec
+	seed uint64
+
+	features     int // feature-vector length (doubles)
+	rowsPerBatch int
+	batches      int
+	iters        int
+	cacheEvery   int // persist every Nth partition (RDD cache)
+	cacheSlots   int // retained partitions (sizes the long-lived set)
+	aggregates   int // shuffle aggregates per batch
+	centroids    int // k-means only
+	sparse       bool
+}
+
+func (w *sparkML) Spec() Spec { return w.spec }
+
+func (w *sparkML) Run(c *gc.Collector) error {
+	m := newMutator(c)
+	rng := newRNG(w.seed)
+
+	// Long-lived model: weights + history of per-iteration stats.
+	model := m.allocInstance(KModel)
+	weights := m.allocArray(KDoubleArray, w.features)
+	history := m.allocArray(KObjArray, w.iters*2)
+	m.setRef(model, 2, weights)
+	m.setRef(model, 3, history)
+
+	// RDD cache: retained partitions (bounded; old entries become garbage).
+	cacheSlots := w.cacheSlots
+	if cacheSlots == 0 {
+		cacheSlots = 4
+	}
+	cache := m.allocArray(KObjArray, cacheSlots)
+	cacheIdx := 0
+
+	// k-means centroids, rebuilt every iteration.
+	cents := -1
+	if w.centroids > 0 {
+		cents = m.allocArray(KObjArray, w.centroids)
+	}
+
+	histIdx := 0
+	for iter := 0; iter < w.iters && !m.oom; iter++ {
+		if cents >= 0 {
+			// Rebuild centroids: young objects referenced from a (soon
+			// promoted) array — churn with references.
+			for k := 0; k < w.centroids && !m.oom; k++ {
+				cv := m.allocArray(KDoubleArray, w.features)
+				m.setElem(cents, k, cv)
+				m.drop(cv)
+			}
+		}
+		for b := 0; b < w.batches && !m.oom; b++ {
+			// Partition: an array of rows, each holding a large feature
+			// vector. Dominated by Copy when live at GC time.
+			part := m.allocArray(KObjArray, w.rowsPerBatch)
+			for r := 0; r < w.rowsPerBatch && !m.oom; r++ {
+				row := m.allocInstance(KRow)
+				var vec int
+				if w.sparse {
+					// Sparse vector: indices + values (two arrays via a
+					// holder pair).
+					idx := m.allocArray(KIntArray, w.features/2)
+					val := m.allocArray(KDoubleArray, w.features/2)
+					pair := m.allocInstance(KKeyValue)
+					m.setRef(pair, 2, idx)
+					m.setRef(pair, 3, val)
+					m.drop(idx)
+					m.drop(val)
+					vec = pair
+				} else {
+					vec = m.allocArray(KDoubleArray, w.features)
+				}
+				m.setRef(row, 2, vec)
+				m.setElem(part, r, row)
+				m.drop(vec)
+				m.drop(row)
+			}
+
+			// Shuffle: small aggregates, a few retained into the model's
+			// history (old-to-young stores → card traffic).
+			stats := m.allocArray(KDoubleArray, w.aggregates)
+			kv := m.allocInstance(KKeyValue)
+			m.setRef(kv, 2, stats)
+			if histIdx < w.iters*2 && rng.chance(1, 2) {
+				m.setElem(history, histIdx, kv)
+				histIdx++
+			}
+			m.drop(stats)
+			m.drop(kv)
+
+			// RDD persist: occasionally retain a partition, evicting the
+			// oldest cached one (old-generation garbage → MajorGC work).
+			if w.cacheEvery > 0 && b%w.cacheEvery == 0 {
+				m.setElem(cache, cacheIdx%cacheSlots, part)
+				cacheIdx++
+			}
+			m.drop(part)
+		}
+	}
+	if m.oom {
+		return errOOM
+	}
+	// End of job: final full compaction, as a long-running executor would
+	// eventually trigger.
+	jobEndGC(c)
+	if c.OOM {
+		return errOOM
+	}
+	return nil
+}
