@@ -1,0 +1,39 @@
+# Developer entry points. Everything here is plain go tool invocations;
+# CI (.github/workflows/ci.yml) runs the same commands.
+
+GO ?= go
+
+.PHONY: build vet test short race golden bench parbench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -timeout 30m ./...
+
+# Fast subset: slow figure-shape tests skip themselves under -short.
+short:
+	$(GO) test -short -timeout 10m ./...
+
+# Race coverage of the parallel harness. -short keeps the simulation-heavy
+# shape tests out; the concurrency tests never skip.
+race:
+	$(GO) test -race -short -timeout 30m ./internal/experiments ./internal/sim ./internal/gc
+	$(GO) test -race -timeout 30m -run 'Deterministic|Session|Parallel|Concurrent|KindTable' .
+
+# Regenerate render golden files after an intentional format change.
+golden:
+	$(GO) test ./internal/experiments -run Golden -update
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# Serial-vs-parallel wall-time comparison (also verifies byte-identical
+# output across parallelism settings).
+parbench:
+	$(GO) test -bench=BenchmarkSuiteSerialVsParallel -benchtime=1x -timeout 60m
+
+ci: vet build test race

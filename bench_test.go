@@ -15,6 +15,7 @@ package charonsim
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"charonsim/internal/energy"
 	"charonsim/internal/exec"
@@ -243,6 +244,50 @@ func BenchmarkAblations(b *testing.B) {
 		}
 		printOnce(b, i, experiments.RenderAblations(rs))
 	}
+}
+
+// suiteSerialVsParallel runs RunAll twice — serial, then at parallelism
+// 8 — and reports both wall clocks plus the speedup as benchmark metrics.
+// Because every report is byte-identical across parallelism levels (the
+// determinism tests enforce this), the two runs are directly comparable.
+func suiteSerialVsParallel(b *testing.B, workloads []string) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serialReports, err := RunAll(Config{Workloads: workloads, Parallelism: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial := time.Since(t0).Seconds()
+
+		t0 = time.Now()
+		parReports, err := RunAll(Config{Workloads: workloads, Parallelism: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		par := time.Since(t0).Seconds()
+
+		for j := range serialReports {
+			if serialReports[j].Text != parReports[j].Text {
+				b.Fatalf("%s: parallel output diverged from serial", serialReports[j].ID)
+			}
+		}
+		b.ReportMetric(serial, "serial-s")
+		b.ReportMetric(par, "parallel8-s")
+		b.ReportMetric(serial/par, "speedup-x")
+	}
+}
+
+// BenchmarkSuiteSerialVsParallel measures the full suite (all figures and
+// tables, all six workloads) serially vs at parallelism 8. On an N-core
+// host (N >= 8) expect speedup-x >= 2; on a single core it stays ~1.
+func BenchmarkSuiteSerialVsParallel(b *testing.B) {
+	suiteSerialVsParallel(b, nil)
+}
+
+// BenchmarkSuiteQuickSerialVsParallel is the same comparison over the
+// framework-representative subset, for quick parallel-efficiency checks.
+func BenchmarkSuiteQuickSerialVsParallel(b *testing.B) {
+	suiteSerialVsParallel(b, []string{"BS", "CC", "ALS"})
 }
 
 // BenchmarkEndToEnd measures the full pipeline cost for one workload:

@@ -51,10 +51,19 @@ type Config struct {
 	HeapFactor float64
 	// Workloads restricts the benchmark set (default: all six of Table 3).
 	Workloads []string
+	// Parallelism bounds how many simulations (workload recordings and
+	// platform replays) the harness runs concurrently on the host machine
+	// (default runtime.GOMAXPROCS(0); values < 0 force serial execution).
+	// It changes wall-clock time only: every simulation unit is
+	// independent, so Report.Text is byte-identical at any parallelism
+	// level. This is host-side concurrency, unrelated to Threads (the
+	// number of simulated GC threads).
+	Parallelism int
 }
 
 func (c Config) toInternal() experiments.Config {
-	return experiments.Config{Threads: c.Threads, Factor: c.HeapFactor, Workloads: c.Workloads}
+	return experiments.Config{Threads: c.Threads, Factor: c.HeapFactor,
+		Workloads: c.Workloads, Parallelism: c.Parallelism}
 }
 
 // Report is a rendered experiment result.
@@ -251,17 +260,37 @@ func Run(id string, cfg Config) (*Report, error) {
 	return &Report{ID: id, Title: e.title, Text: text}, nil
 }
 
-// RunAll executes every experiment, sharing recorded workload runs.
+// RunAll executes every experiment, sharing recorded workload runs across
+// experiments (the session's single-flight memoization records each
+// workload exactly once, no matter how many experiments need it or how
+// many run at a time). Reports come back in Experiments() order and are
+// byte-identical at every parallelism level; on error, the reports for
+// experiments ordered before the first failing one are still returned.
 func RunAll(cfg Config) ([]*Report, error) {
 	s := experiments.NewSession(cfg.toInternal())
-	var out []*Report
-	for _, id := range Experiments() {
-		e := experimentTable[id]
+	ids := Experiments()
+	reports := make([]*Report, len(ids))
+	errs := make([]error, len(ids))
+	runOne := func(i int) error {
+		e := experimentTable[ids[i]]
 		text, err := e.run(s)
 		if err != nil {
-			return out, fmt.Errorf("%s: %w", id, err)
+			errs[i] = err
+			return err
 		}
-		out = append(out, &Report{ID: id, Title: e.title, Text: text})
+		reports[i] = &Report{ID: ids[i], Title: e.title, Text: text}
+		return nil
+	}
+	// The experiments themselves fan out too (bounded by the same
+	// parallelism the per-experiment loops use), so wide hosts stay busy
+	// even while the longest single experiment is still running.
+	experiments.ForEach(s.Config().Parallelism, len(ids), runOne)
+	var out []*Report
+	for i, id := range ids {
+		if errs[i] != nil {
+			return out, fmt.Errorf("%s: %w", id, errs[i])
+		}
+		out = append(out, reports[i])
 	}
 	return out, nil
 }

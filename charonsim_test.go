@@ -3,6 +3,8 @@ package charonsim
 import (
 	"strings"
 	"testing"
+
+	"charonsim/internal/exec"
 )
 
 func TestExperimentsListed(t *testing.T) {
@@ -113,6 +115,52 @@ func TestSimulateGCBadInputs(t *testing.T) {
 	}
 	if _, err := SimulateGC("nope", 1.5, PlatformDDR4, 8); err == nil {
 		t.Fatal("bad workload accepted")
+	}
+}
+
+func TestPlatformKindTable(t *testing.T) {
+	tests := []struct {
+		platform Platform
+		want     exec.Kind
+		wantErr  bool
+	}{
+		{PlatformDDR4, exec.KindDDR4, false},
+		{PlatformHMC, exec.KindHMC, false},
+		{PlatformCharon, exec.KindCharon, false},
+		{PlatformCharonDistributed, exec.KindCharonDistributed, false},
+		{PlatformCharonCPUSide, exec.KindCharonCPUSide, false},
+		{PlatformIdeal, exec.KindIdeal, false},
+		{Platform("xpoint"), 0, true},
+		{Platform(""), 0, true},
+		{Platform("Charon"), 0, true}, // names are case-sensitive
+	}
+	for _, tc := range tests {
+		got, err := tc.platform.kind()
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%q: expected an error, got kind %v", tc.platform, got)
+			} else if !strings.Contains(err.Error(), string(tc.platform)) {
+				t.Errorf("%q: error %v does not name the platform", tc.platform, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%q: %v", tc.platform, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%q: kind = %v, want %v", tc.platform, got, tc.want)
+		}
+	}
+	// The table above must cover every selectable platform.
+	covered := map[Platform]bool{}
+	for _, tc := range tests {
+		covered[tc.platform] = true
+	}
+	for _, p := range Platforms() {
+		if !covered[p] {
+			t.Errorf("platform %q missing from the kind() table", p)
+		}
 	}
 }
 

@@ -7,7 +7,11 @@
 //	charonsim -exp fig12                # one experiment, all six workloads
 //	charonsim -exp fig14 -workloads BS,ALS
 //	charonsim -exp all -threads 8 -factor 1.5
+//	charonsim -exp all -parallel 8      # fan simulations out over 8 workers
 //	charonsim -list
+//
+// Output is byte-identical at every -parallel setting; only the wall
+// clock changes.
 package main
 
 import (
@@ -26,6 +30,7 @@ func main() {
 		threads   = flag.Int("threads", 8, "GC thread count")
 		factor    = flag.Float64("factor", 1.5, "heap overprovisioning factor (1.0 = minimum heap)")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all six)")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, <0 = serial); output is identical at any setting")
 		list      = flag.Bool("list", false, "list experiments and workloads, then exit")
 	)
 	flag.Parse()
@@ -43,7 +48,7 @@ func main() {
 		return
 	}
 
-	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor}
+	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor, Parallelism: *parallel}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}

@@ -44,30 +44,41 @@ func ablationWorkloads(cfg Config) []string {
 }
 
 // runAblation replays the representative workloads on Charon at every
-// sweep point.
+// sweep point. The (point, workload) grid fans out across the session's
+// parallelism: each cell builds its own Charon platform from the point's
+// options, so no sweep point shares simulator state with another.
 func runAblation(s *Session, name string, points []AblationPoint, def int) (*AblationResult, error) {
 	cfg := s.Config()
 	res := &AblationResult{Name: name, Points: points, Default: def}
-	for _, pt := range points {
-		var sp []float64
-		for _, w := range ablationWorkloads(cfg) {
-			run, err := s.Record(w, cfg.Factor)
-			if err != nil {
-				return nil, err
-			}
-			base, err := s.replayTotals(w, exec.KindDDR4, cfg.Threads)
-			if err != nil {
-				return nil, err
-			}
-			p := exec.NewWithOptions(exec.KindCharon, run.Env, cfg.Threads, pt.Opt)
-			var results []exec.Result
-			for _, ev := range run.Col.Log {
-				results = append(results, p.Replay(ev, cfg.Threads))
-			}
-			t := Sum(exec.KindCharon, results, cfg.Threads)
-			sp = append(sp, base.Duration.Seconds()/t.Duration.Seconds())
+	wls := ablationWorkloads(cfg)
+	grid := make([][]float64, len(points)) // grid[pt][w] speedup
+	for i := range grid {
+		grid[i] = make([]float64, len(wls))
+	}
+	err := forEachGrid(cfg.Parallelism, len(points), len(wls), func(pi, wi int) error {
+		w := wls[wi]
+		run, err := s.Record(w, cfg.Factor)
+		if err != nil {
+			return err
 		}
-		res.Speedup = append(res.Speedup, stats.Geomean(sp))
+		base, err := s.replayTotals(w, exec.KindDDR4, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		p := exec.NewWithOptions(exec.KindCharon, run.Env, cfg.Threads, points[pi].Opt)
+		var results []exec.Result
+		for _, ev := range run.Col.Log {
+			results = append(results, p.Replay(ev, cfg.Threads))
+		}
+		t := Sum(exec.KindCharon, results, cfg.Threads)
+		grid[pi][wi] = base.Duration.Seconds() / t.Duration.Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi := range points {
+		res.Speedup = append(res.Speedup, stats.Geomean(grid[pi]))
 	}
 	return res, nil
 }
@@ -160,17 +171,21 @@ func AblateTopology(s *Session) (*AblationResult, error) {
 	return runAblation(s, "cube topology", pts, 0)
 }
 
-// Ablations runs every design-space sweep.
+// Ablations runs every design-space sweep, in a fixed order. The sweeps
+// themselves run one after another (each already fans its point grid out),
+// so the combined goroutine count stays bounded by the configured
+// parallelism.
 func Ablations(s *Session) ([]*AblationResult, error) {
-	var out []*AblationResult
-	for _, f := range []func(*Session) (*AblationResult, error){
+	sweeps := []func(*Session) (*AblationResult, error){
 		AblateMAI, AblateStreamGrain, AblateBitmapCache, AblateUnits, AblateTopology,
-	} {
+	}
+	out := make([]*AblationResult, len(sweeps))
+	for i, f := range sweeps {
 		r, err := f(s)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
+		out[i] = r
 	}
 	return out, nil
 }

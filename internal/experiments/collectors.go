@@ -39,34 +39,54 @@ func CollectorStudy(s *Session) (*CollectorStudyResult, error) {
 		FullGCs:          map[string]map[gc.Mode]int{},
 		Geomean:          map[gc.Mode]float64{},
 	}
+	// Every (workload, collector-mode) cell records and replays
+	// independently, so the full grid fans out.
+	type cell struct {
+		speedup float64
+		bcShare float64
+		fullGCs int
+	}
+	grid := make([][]cell, len(cfg.Workloads)) // grid[w][mi] aligned to StudyModes
+	for i := range grid {
+		grid[i] = make([]cell, len(StudyModes))
+	}
+	err := forEachGrid(cfg.Parallelism, len(cfg.Workloads), len(StudyModes), func(w, mi int) error {
+		run, err := s.RecordMode(cfg.Workloads[w], cfg.Factor, StudyModes[mi])
+		if err != nil {
+			return err
+		}
+		base := Sum(exec.KindDDR4, s.Replay(run, exec.KindDDR4, cfg.Threads), cfg.Threads)
+		ch := Sum(exec.KindCharon, s.Replay(run, exec.KindCharon, cfg.Threads), cfg.Threads)
+		c := cell{speedup: base.Duration.Seconds() / ch.Duration.Seconds()}
+
+		var total float64
+		for _, v := range base.PrimTime {
+			total += v.Seconds()
+		}
+		if total > 0 {
+			c.bcShare = base.PrimTime[gc.PrimBitmapCount].Seconds() / total
+		}
+		for _, ev := range run.Col.Log {
+			if ev.Kind != gc.Minor {
+				c.fullGCs++
+			}
+		}
+		grid[w][mi] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	acc := map[gc.Mode][]float64{}
-	for _, name := range cfg.Workloads {
+	for w, name := range cfg.Workloads {
 		res.Speedup[name] = map[gc.Mode]float64{}
 		res.BitmapCountShare[name] = map[gc.Mode]float64{}
 		res.FullGCs[name] = map[gc.Mode]int{}
-		for _, mode := range StudyModes {
-			run, err := s.RecordMode(name, cfg.Factor, mode)
-			if err != nil {
-				return nil, err
-			}
-			base := Sum(exec.KindDDR4, s.Replay(run, exec.KindDDR4, cfg.Threads), cfg.Threads)
-			ch := Sum(exec.KindCharon, s.Replay(run, exec.KindCharon, cfg.Threads), cfg.Threads)
-			sp := base.Duration.Seconds() / ch.Duration.Seconds()
-			res.Speedup[name][mode] = sp
-			acc[mode] = append(acc[mode], sp)
-
-			var total float64
-			for _, v := range base.PrimTime {
-				total += v.Seconds()
-			}
-			if total > 0 {
-				res.BitmapCountShare[name][mode] = base.PrimTime[gc.PrimBitmapCount].Seconds() / total
-			}
-			for _, ev := range run.Col.Log {
-				if ev.Kind != gc.Minor {
-					res.FullGCs[name][mode]++
-				}
-			}
+		for mi, mode := range StudyModes {
+			res.Speedup[name][mode] = grid[w][mi].speedup
+			res.BitmapCountShare[name][mode] = grid[w][mi].bcShare
+			res.FullGCs[name][mode] = grid[w][mi].fullGCs
+			acc[mode] = append(acc[mode], grid[w][mi].speedup)
 		}
 	}
 	for _, m := range StudyModes {

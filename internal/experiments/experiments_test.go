@@ -15,7 +15,19 @@ func quick(t testing.TB) *Session {
 	return NewSession(Config{Workloads: []string{"BS", "CC", "ALS"}})
 }
 
+// skipIfShort gates the slow figure-shape tests out of -short runs. The
+// CI race job runs with -short: the race detector multiplies simulation
+// time ~10x, and race coverage of the parallel harness comes from the
+// concurrency-focused tests (session_test.go), which never skip.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow shape test skipped in -short mode")
+	}
+}
+
 func TestFig2OverheadShape(t *testing.T) {
+	skipIfShort(t)
 	s := quick(t)
 	r, err := Fig2(s)
 	if err != nil {
@@ -40,6 +52,7 @@ func TestFig2OverheadShape(t *testing.T) {
 }
 
 func TestFig4KeyPrimitivesDominate(t *testing.T) {
+	skipIfShort(t)
 	s := quick(t)
 	for _, kind := range []gc.Kind{gc.Minor, gc.Major} {
 		r, err := Fig4(s, kind)
@@ -61,6 +74,7 @@ func TestFig4KeyPrimitivesDominate(t *testing.T) {
 }
 
 func TestFig12SpeedupShape(t *testing.T) {
+	skipIfShort(t)
 	s := quick(t)
 	r, err := Fig12(s)
 	if err != nil {
@@ -89,6 +103,7 @@ func TestFig12SpeedupShape(t *testing.T) {
 }
 
 func TestFig13BandwidthShape(t *testing.T) {
+	skipIfShort(t)
 	s := quick(t)
 	r, err := Fig13(s)
 	if err != nil {
@@ -112,6 +127,7 @@ func TestFig13BandwidthShape(t *testing.T) {
 }
 
 func TestFig14PerPrimitiveShape(t *testing.T) {
+	skipIfShort(t)
 	s := quick(t)
 	r, err := Fig14(s)
 	if err != nil {
@@ -135,6 +151,7 @@ func TestFig14PerPrimitiveShape(t *testing.T) {
 }
 
 func TestFig15Scalability(t *testing.T) {
+	skipIfShort(t)
 	s := NewSession(Config{Workloads: []string{"BS"}})
 	r, err := Fig15(s)
 	if err != nil {
@@ -162,6 +179,7 @@ func TestFig15Scalability(t *testing.T) {
 }
 
 func TestFig16CPUSideShape(t *testing.T) {
+	skipIfShort(t)
 	s := quick(t)
 	r, err := Fig16(s)
 	if err != nil {
@@ -182,6 +200,7 @@ func TestFig16CPUSideShape(t *testing.T) {
 }
 
 func TestFig17EnergyShape(t *testing.T) {
+	skipIfShort(t)
 	s := quick(t)
 	r, err := Fig17(s)
 	if err != nil {
@@ -274,6 +293,7 @@ func TestSessionCaching(t *testing.T) {
 }
 
 func TestCollectorStudy(t *testing.T) {
+	skipIfShort(t)
 	s := NewSession(Config{Workloads: []string{"BS", "CC"}})
 	r, err := CollectorStudy(s)
 	if err != nil {
@@ -346,6 +366,7 @@ func TestAblationStreamGrain(t *testing.T) {
 }
 
 func TestAblationTopology(t *testing.T) {
+	skipIfShort(t)
 	s := NewSession(Config{Workloads: []string{"CC"}})
 	r, err := AblateTopology(s)
 	if err != nil {

@@ -23,20 +23,29 @@ type Fig2Result struct {
 // Fig2 reproduces Figure 2: GC overhead vs heap size on the baseline
 // host. Overhead grows toward the minimum heap and is still noticeable at
 // 2x (the paper reports ≥15% at 2x and up to 365% near the minimum).
+// Every (workload, factor) cell is an independent record+replay, so the
+// whole grid fans out across the session's parallelism.
 func Fig2(s *Session) (*Fig2Result, error) {
 	cfg := s.Config()
 	res := &Fig2Result{Factors: Fig2Factors, Workload: cfg.Workloads, Overhead: map[string][]float64{}}
-	for _, name := range cfg.Workloads {
-		var row []float64
-		for _, f := range Fig2Factors {
-			r, err := s.Record(name, f)
-			if err != nil {
-				return nil, err
-			}
-			t := Sum(exec.KindDDR4, s.Replay(r, exec.KindDDR4, cfg.Threads), cfg.Threads)
-			row = append(row, t.Duration.Seconds()/r.MutTime.Seconds())
+	rows := make([][]float64, len(cfg.Workloads))
+	for i := range rows {
+		rows[i] = make([]float64, len(Fig2Factors))
+	}
+	err := forEachGrid(cfg.Parallelism, len(cfg.Workloads), len(Fig2Factors), func(w, f int) error {
+		r, err := s.Record(cfg.Workloads[w], Fig2Factors[f])
+		if err != nil {
+			return err
 		}
-		res.Overhead[name] = row
+		t := Sum(exec.KindDDR4, s.Replay(r, exec.KindDDR4, cfg.Threads), cfg.Threads)
+		rows[w][f] = t.Duration.Seconds() / r.MutTime.Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range cfg.Workloads {
+		res.Overhead[name] = rows[i]
 	}
 	return res, nil
 }
@@ -71,10 +80,12 @@ func Fig4(s *Session, kind gc.Kind) (*Fig4Result, error) {
 	cfg := s.Config()
 	res := &Fig4Result{Kind: kind, Workload: cfg.Workloads,
 		Share: map[string][gc.NumPrims]float64{}, KeyShare: map[string]float64{}}
-	for _, name := range cfg.Workloads {
-		r, err := s.Record(name, cfg.Factor)
+	shares := make([][gc.NumPrims]float64, len(cfg.Workloads))
+	keys := make([]float64, len(cfg.Workloads))
+	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+		r, err := s.Record(cfg.Workloads[w], cfg.Factor)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := exec.New(exec.KindDDR4, r.Env, cfg.Threads)
 		var prim [gc.NumPrims]float64
@@ -99,8 +110,16 @@ func Fig4(s *Session, kind gc.Kind) (*Fig4Result, error) {
 				key += share[i]
 			}
 		}
-		res.Share[name] = share
-		res.KeyShare[name] = key
+		shares[w] = share
+		keys[w] = key
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range cfg.Workloads {
+		res.Share[name] = shares[i]
+		res.KeyShare[name] = keys[i]
 	}
 	return res, nil
 }
@@ -143,24 +162,35 @@ func Fig12(s *Session) (*Fig12Result, error) {
 	cfg := s.Config()
 	res := &Fig12Result{Workload: cfg.Workloads,
 		Speedup: map[string]map[exec.Kind]float64{}, Geomean: map[exec.Kind]float64{}}
-	perKind := map[exec.Kind]map[string]float64{}
-	for _, name := range cfg.Workloads {
-		base, err := s.replayTotals(name, exec.KindDDR4, cfg.Threads)
+	rows := make([][]float64, len(cfg.Workloads)) // rows[w][ki] aligned to Fig12Kinds
+	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+		base, err := s.replayTotals(cfg.Workloads[w], exec.KindDDR4, cfg.Threads)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Speedup[name] = map[exec.Kind]float64{}
-		for _, k := range Fig12Kinds {
-			t, err := s.replayTotals(name, k, cfg.Threads)
+		row := make([]float64, len(Fig12Kinds))
+		for ki, k := range Fig12Kinds {
+			t, err := s.replayTotals(cfg.Workloads[w], k, cfg.Threads)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sp := base.Duration.Seconds() / t.Duration.Seconds()
-			res.Speedup[name][k] = sp
+			row[ki] = base.Duration.Seconds() / t.Duration.Seconds()
+		}
+		rows[w] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	perKind := map[exec.Kind]map[string]float64{}
+	for w, name := range cfg.Workloads {
+		res.Speedup[name] = map[exec.Kind]float64{}
+		for ki, k := range Fig12Kinds {
+			res.Speedup[name][k] = rows[w][ki]
 			if perKind[k] == nil {
 				perKind[k] = map[string]float64{}
 			}
-			perKind[k][name] = sp
+			perKind[k][name] = rows[w][ki]
 		}
 	}
 	for _, k := range Fig12Kinds {
@@ -211,18 +241,31 @@ func Fig13(s *Session) (*Fig13Result, error) {
 	cfg := s.Config()
 	res := &Fig13Result{Workload: cfg.Workloads,
 		Bandwidth: map[string]map[exec.Kind]float64{}, LocalRatio: map[string]float64{}}
-	for _, name := range cfg.Workloads {
-		res.Bandwidth[name] = map[exec.Kind]float64{}
-		for _, k := range Fig13Kinds {
-			t, err := s.replayTotals(name, k, cfg.Threads)
-			if err != nil {
-				return nil, err
-			}
-			res.Bandwidth[name][k] = t.BandwidthGBs()
-			if k == exec.KindCharon {
-				res.LocalRatio[name] = t.Local
-			}
+	bw := make([][]float64, len(cfg.Workloads)) // bw[w][ki] aligned to Fig13Kinds
+	local := make([]float64, len(cfg.Workloads))
+	for i := range bw {
+		bw[i] = make([]float64, len(Fig13Kinds))
+	}
+	err := forEachGrid(cfg.Parallelism, len(cfg.Workloads), len(Fig13Kinds), func(w, ki int) error {
+		t, err := s.replayTotals(cfg.Workloads[w], Fig13Kinds[ki], cfg.Threads)
+		if err != nil {
+			return err
 		}
+		bw[w][ki] = t.BandwidthGBs()
+		if Fig13Kinds[ki] == exec.KindCharon {
+			local[w] = t.Local
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for w, name := range cfg.Workloads {
+		res.Bandwidth[name] = map[exec.Kind]float64{}
+		for ki, k := range Fig13Kinds {
+			res.Bandwidth[name][k] = bw[w][ki]
+		}
+		res.LocalRatio[name] = local[w]
 	}
 	return res, nil
 }
@@ -270,24 +313,42 @@ func Fig14(s *Session) (*Fig14Result, error) {
 	res := &Fig14Result{Workload: cfg.Workloads,
 		Speedup: map[string]map[gc.Prim]float64{},
 		Average: map[gc.Prim]float64{}, Max: map[gc.Prim]float64{}}
-	acc := map[gc.Prim][]float64{}
-	for _, name := range cfg.Workloads {
-		base, err := s.replayTotals(name, exec.KindDDR4, cfg.Threads)
+	type cell struct {
+		sp float64
+		ok bool
+	}
+	rows := make([][]cell, len(cfg.Workloads)) // rows[w][pi] aligned to Fig14Prims
+	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+		base, err := s.replayTotals(cfg.Workloads[w], exec.KindDDR4, cfg.Threads)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ch, err := s.replayTotals(name, exec.KindCharon, cfg.Threads)
+		ch, err := s.replayTotals(cfg.Workloads[w], exec.KindCharon, cfg.Threads)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Speedup[name] = map[gc.Prim]float64{}
-		for _, p := range Fig14Prims {
+		row := make([]cell, len(Fig14Prims))
+		for pi, p := range Fig14Prims {
 			if ch.PrimTime[p] == 0 || base.PrimTime[p] == 0 {
 				continue
 			}
-			sp := base.PrimTime[p].Seconds() / ch.PrimTime[p].Seconds()
-			res.Speedup[name][p] = sp
-			acc[p] = append(acc[p], sp)
+			row[pi] = cell{sp: base.PrimTime[p].Seconds() / ch.PrimTime[p].Seconds(), ok: true}
+		}
+		rows[w] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := map[gc.Prim][]float64{}
+	for w, name := range cfg.Workloads {
+		res.Speedup[name] = map[gc.Prim]float64{}
+		for pi, p := range Fig14Prims {
+			if !rows[w][pi].ok {
+				continue
+			}
+			res.Speedup[name][p] = rows[w][pi].sp
+			acc[p] = append(acc[p], rows[w][pi].sp)
 		}
 	}
 	for _, p := range Fig14Prims {
@@ -343,20 +404,45 @@ func Fig15(s *Session) (*Fig15Result, error) {
 	cfg := s.Config()
 	res := &Fig15Result{Workload: cfg.Workloads, Threads: Fig15Threads,
 		Throughput: map[string]map[exec.Kind][]float64{}}
-	for _, name := range cfg.Workloads {
-		r, err := s.Record(name, cfg.Factor)
+	// Pass 1: record each workload and establish the 1T DDR4 baseline.
+	runs := make([]*Run, len(cfg.Workloads))
+	bases := make([]float64, len(cfg.Workloads))
+	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+		r, err := s.Record(cfg.Workloads[w], cfg.Factor)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		base := Sum(exec.KindDDR4, s.Replay(r, exec.KindDDR4, 1), 1).Duration.Seconds()
+		runs[w] = r
+		bases[w] = Sum(exec.KindDDR4, s.Replay(r, exec.KindDDR4, 1), 1).Duration.Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Pass 2: every (workload, design, thread-count) point replays on a
+	// fresh platform — the full sweep fans out.
+	grid := make([][][]float64, len(cfg.Workloads)) // grid[w][ki][ti]
+	for w := range grid {
+		grid[w] = make([][]float64, len(Fig15Kinds))
+		for ki := range grid[w] {
+			grid[w][ki] = make([]float64, len(Fig15Threads))
+		}
+	}
+	nPoints := len(Fig15Kinds) * len(Fig15Threads)
+	err = forEachGrid(cfg.Parallelism, len(cfg.Workloads), nPoints, func(w, p int) error {
+		ki, ti := p/len(Fig15Threads), p%len(Fig15Threads)
+		th := Fig15Threads[ti]
+		t := Sum(Fig15Kinds[ki], s.Replay(runs[w], Fig15Kinds[ki], th), th)
+		grid[w][ki][ti] = bases[w] / t.Duration.Seconds()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for w, name := range cfg.Workloads {
 		res.Throughput[name] = map[exec.Kind][]float64{}
-		for _, k := range Fig15Kinds {
-			var series []float64
-			for _, th := range Fig15Threads {
-				t := Sum(k, s.Replay(r, k, th), th)
-				series = append(series, base/t.Duration.Seconds())
-			}
-			res.Throughput[name][k] = series
+		for ki, k := range Fig15Kinds {
+			res.Throughput[name][k] = grid[w][ki]
 		}
 	}
 	return res, nil
@@ -396,19 +482,31 @@ type Fig16Result struct {
 func Fig16(s *Session) (*Fig16Result, error) {
 	cfg := s.Config()
 	res := &Fig16Result{Workload: cfg.Workloads, Speedup: map[string]map[exec.Kind]float64{}}
-	var ratios []float64
-	for _, name := range cfg.Workloads {
-		base, err := s.replayTotals(name, exec.KindDDR4, cfg.Threads)
+	rows := make([][]float64, len(cfg.Workloads)) // rows[w][ki] aligned to Fig16Kinds
+	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+		base, err := s.replayTotals(cfg.Workloads[w], exec.KindDDR4, cfg.Threads)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Speedup[name] = map[exec.Kind]float64{}
-		for _, k := range Fig16Kinds {
-			t, err := s.replayTotals(name, k, cfg.Threads)
+		row := make([]float64, len(Fig16Kinds))
+		for ki, k := range Fig16Kinds {
+			t, err := s.replayTotals(cfg.Workloads[w], k, cfg.Threads)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res.Speedup[name][k] = base.Duration.Seconds() / t.Duration.Seconds()
+			row[ki] = base.Duration.Seconds() / t.Duration.Seconds()
+		}
+		rows[w] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ratios []float64
+	for w, name := range cfg.Workloads {
+		res.Speedup[name] = map[exec.Kind]float64{}
+		for ki, k := range Fig16Kinds {
+			res.Speedup[name][k] = rows[w][ki]
 		}
 		ratios = append(ratios, res.Speedup[name][exec.KindCharonCPUSide]/res.Speedup[name][exec.KindCharon])
 	}
@@ -457,30 +555,43 @@ func Fig17(s *Session) (*Fig17Result, error) {
 	cfg := s.Config()
 	res := &Fig17Result{Workload: cfg.Workloads,
 		Normalized: map[string]map[exec.Kind]float64{}, Savings: map[exec.Kind]float64{}}
+	rows := make([][]float64, len(cfg.Workloads)) // rows[w][ki] aligned to Fig17Kinds
+	charonPower := make([]float64, len(cfg.Workloads))
+	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+		base, err := s.replayTotals(cfg.Workloads[w], exec.KindDDR4, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		row := make([]float64, len(Fig17Kinds))
+		for ki, k := range Fig17Kinds {
+			t, err := s.replayTotals(cfg.Workloads[w], k, cfg.Threads)
+			if err != nil {
+				return err
+			}
+			row[ki] = float64(t.Energy.Total()) / float64(base.Energy.Total())
+			if k == exec.KindCharon {
+				charonPower[w] = float64(t.Energy.Units) / t.Duration.Seconds()
+			}
+		}
+		rows[w] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Merge in workload order so the max-power tie-break matches serial.
 	norm := map[exec.Kind][]float64{}
 	var powers []float64
-	for _, name := range cfg.Workloads {
-		base, err := s.replayTotals(name, exec.KindDDR4, cfg.Threads)
-		if err != nil {
-			return nil, err
-		}
+	for w, name := range cfg.Workloads {
 		res.Normalized[name] = map[exec.Kind]float64{}
-		for _, k := range Fig17Kinds {
-			t, err := s.replayTotals(name, k, cfg.Threads)
-			if err != nil {
-				return nil, err
-			}
-			n := float64(t.Energy.Total()) / float64(base.Energy.Total())
-			res.Normalized[name][k] = n
-			norm[k] = append(norm[k], n)
-			if k == exec.KindCharon {
-				p := float64(t.Energy.Units) / t.Duration.Seconds()
-				powers = append(powers, p)
-				if p > res.CharonMaxPowerW {
-					res.CharonMaxPowerW = p
-					res.MaxPowerWork = name
-				}
-			}
+		for ki, k := range Fig17Kinds {
+			res.Normalized[name][k] = rows[w][ki]
+			norm[k] = append(norm[k], rows[w][ki])
+		}
+		powers = append(powers, charonPower[w])
+		if charonPower[w] > res.CharonMaxPowerW {
+			res.CharonMaxPowerW = charonPower[w]
+			res.MaxPowerWork = name
 		}
 	}
 	for _, k := range Fig17Kinds {

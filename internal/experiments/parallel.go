@@ -1,0 +1,67 @@
+package experiments
+
+import "sync"
+
+// forEach runs fn(i) for every i in [0, n) on at most par concurrent
+// workers and returns the lowest-index error (nil if none). Callers write
+// results into index i of a preallocated slice, so assembling the final
+// (map-shaped, rendered) output in index order afterwards yields output
+// byte-identical to a serial loop at any parallelism level.
+//
+// With par <= 1 the loop runs serially and stops at the first error,
+// exactly like the pre-parallel harness; with par > 1 every index runs
+// (work after a failing index is wasted, not wrong — simulation units are
+// independent and side-effect-free beyond session memoization) and the
+// reported error is still the one a serial loop would have hit first.
+func forEach(par, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ForEach exposes the bounded worker pool: charonsim.RunAll fans the
+// experiment list out through it so the whole suite shares one concurrency
+// discipline.
+func ForEach(par, n int, fn func(i int) error) error { return forEach(par, n, fn) }
+
+// forEachGrid is forEach over an n-by-m index grid, flattened row-major so
+// all n*m cells can run concurrently.
+func forEachGrid(par, n, m int, fn func(i, j int) error) error {
+	return forEach(par, n*m, func(k int) error {
+		return fn(k/m, k%m)
+	})
+}

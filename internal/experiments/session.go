@@ -8,6 +8,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"charonsim/internal/energy"
 	"charonsim/internal/exec"
@@ -26,6 +28,13 @@ type Config struct {
 	Factor float64
 	// Workloads restricts the benchmark set (default: all six).
 	Workloads []string
+	// Parallelism bounds the number of concurrent record/replay workers
+	// the experiment harness fans out (default runtime.GOMAXPROCS(0);
+	// values < 0 force serial execution). Every simulation unit — one
+	// (workload, factor, mode) recording or one (run, platform, threads)
+	// replay — shares no mutable state with any other, so results are
+	// byte-identical at every parallelism level.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -37,6 +46,12 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Workloads) == 0 {
 		c.Workloads = workload.Names()
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
 	}
 	return c
 }
@@ -52,18 +67,52 @@ type Run struct {
 
 // Session caches recorded workload runs and platform replays so that the
 // full experiment suite records each workload once.
+//
+// Session is safe for concurrent use: Record/RecordMode have single-flight
+// semantics — concurrent calls for the same (workload, factor, mode) key
+// execute the recording exactly once while the other callers block on the
+// in-flight result. Replay constructs a fresh platform per call and only
+// reads the (immutable after recording) Run, so any number of replays may
+// proceed concurrently.
 type Session struct {
-	cfg  Config
-	runs map[string]*Run // key: name@factor
+	cfg Config
+
+	mu   sync.Mutex
+	runs map[string]*inflight // key: name@factor@mode
+
+	// onRecord, when set, is invoked (synchronously, off the lock) each
+	// time a recording is actually executed — the exactly-once counter
+	// hook the concurrency tests use.
+	onRecord func(key string)
+}
+
+// inflight is a single-flight slot: the first caller claims the key and
+// executes; done is closed when run/err are final. Errors are cached too —
+// recording is deterministic, so a failed key would fail identically on
+// retry.
+type inflight struct {
+	done chan struct{}
+	run  *Run
+	err  error
 }
 
 // NewSession creates a session.
 func NewSession(cfg Config) *Session {
-	return &Session{cfg: cfg.withDefaults(), runs: map[string]*Run{}}
+	return &Session{cfg: cfg.withDefaults(), runs: map[string]*inflight{}}
 }
 
 // Config returns the session configuration (defaults applied).
 func (s *Session) Config() Config { return s.cfg }
+
+// SetRecordHook registers a callback fired once per actually-executed
+// recording (not per cache hit). Must be set before the session is shared
+// across goroutines.
+func (s *Session) SetRecordHook(fn func(key string)) { s.onRecord = fn }
+
+// RecordKey is the memoization key for (name, factor, mode).
+func RecordKey(name string, factor float64, mode gc.Mode) string {
+	return fmt.Sprintf("%s@%.3f@%v", name, factor, mode)
+}
 
 // Record returns the recorded run for a workload at a heap factor,
 // executing it on first use.
@@ -74,10 +123,27 @@ func (s *Session) Record(name string, factor float64) (*Run, error) {
 // RecordMode is Record with collector-mode selection (Table 1's three
 // collectors), for the applicability studies.
 func (s *Session) RecordMode(name string, factor float64, mode gc.Mode) (*Run, error) {
-	key := fmt.Sprintf("%s@%.3f@%v", name, factor, mode)
-	if r, ok := s.runs[key]; ok {
-		return r, nil
+	key := RecordKey(name, factor, mode)
+	s.mu.Lock()
+	if f, ok := s.runs[key]; ok {
+		s.mu.Unlock()
+		<-f.done // block on the in-flight (or completed) execution
+		return f.run, f.err
 	}
+	f := &inflight{done: make(chan struct{})}
+	s.runs[key] = f
+	s.mu.Unlock()
+
+	if s.onRecord != nil {
+		s.onRecord(key)
+	}
+	f.run, f.err = record(name, factor, mode)
+	close(f.done)
+	return f.run, f.err
+}
+
+// record executes one workload recording. It touches no session state.
+func record(name string, factor float64, mode gc.Mode) (*Run, error) {
 	w, err := workload.New(name)
 	if err != nil {
 		return nil, err
@@ -86,13 +152,19 @@ func (s *Session) RecordMode(name string, factor float64, mode gc.Mode) (*Run, e
 	if err != nil {
 		return nil, fmt.Errorf("%s at %.2fx: %w", name, factor, err)
 	}
-	r := &Run{
+	return &Run{
 		Name: name, Spec: w.Spec(), Col: col,
 		Env:     exec.EnvFor(col),
 		MutTime: workload.MutatorTime(w.Spec(), col.H),
-	}
-	s.runs[key] = r
-	return r, nil
+	}, nil
+}
+
+// Executions reports how many distinct recordings the session has actually
+// executed (completed or in flight) — cache hits do not add to it.
+func (s *Session) Executions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.runs)
 }
 
 // Replay plays a run's full GC log on a fresh platform of the given kind,

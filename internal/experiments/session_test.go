@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"charonsim/internal/gc"
+)
+
+// TestSessionConcurrentRecord hammers Record/RecordMode from 32 goroutines
+// over a handful of keys and asserts single-flight semantics: every key is
+// executed exactly once, every caller observes the same *Run, and no
+// caller sees a partially built run. Run with -race to let the detector
+// guard the session's internals.
+func TestSessionConcurrentRecord(t *testing.T) {
+	s := NewSession(Config{Workloads: []string{"BS"}})
+
+	var mu sync.Mutex
+	execs := map[string]int{}
+	s.SetRecordHook(func(key string) {
+		mu.Lock()
+		execs[key]++
+		mu.Unlock()
+	})
+
+	type call struct {
+		factor float64
+		mode   gc.Mode
+	}
+	// Two factors plus an explicit-mode alias of the first: three call
+	// shapes but only two distinct keys (Record(f) == RecordMode(f, ModePS)).
+	calls := []call{{1.5, gc.ModePS}, {1.25, gc.ModePS}}
+
+	const goroutines = 32
+	runs := make([]*Run, goroutines)
+	errs := make([]error, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer done.Done()
+			start.Wait() // maximize overlap: all goroutines enter together
+			c := calls[g%len(calls)]
+			if g%3 == 0 {
+				runs[g], errs[g] = s.RecordMode("BS", c.factor, c.mode)
+			} else {
+				runs[g], errs[g] = s.Record("BS", c.factor)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	byKey := map[string]*Run{}
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if runs[g] == nil || runs[g].Col == nil || len(runs[g].Col.Log) == 0 {
+			t.Fatalf("goroutine %d: incomplete run %+v", g, runs[g])
+		}
+		key := RecordKey("BS", calls[g%len(calls)].factor, gc.ModePS)
+		if prev, ok := byKey[key]; ok && prev != runs[g] {
+			t.Fatalf("goroutine %d: got a different *Run for key %s", g, key)
+		}
+		byKey[key] = runs[g]
+	}
+	if len(byKey) != len(calls) {
+		t.Fatalf("observed %d keys, want %d", len(byKey), len(calls))
+	}
+	for key, n := range execs {
+		if n != 1 {
+			t.Fatalf("key %s executed %d times, want exactly 1", key, n)
+		}
+	}
+	if len(execs) != len(calls) {
+		t.Fatalf("executed %d keys (%v), want %d", len(execs), execs, len(calls))
+	}
+	if got := s.Executions(); got != len(calls) {
+		t.Fatalf("Executions() = %d, want %d", got, len(calls))
+	}
+}
+
+// TestSessionConcurrentRecordError: a failing key is also single-flight —
+// executed once, with every concurrent caller receiving the cached error.
+func TestSessionConcurrentRecordError(t *testing.T) {
+	s := NewSession(Config{})
+	var mu sync.Mutex
+	execs := 0
+	s.SetRecordHook(func(string) {
+		mu.Lock()
+		execs++
+		mu.Unlock()
+	})
+
+	const goroutines = 16
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			_, errs[g] = s.Record("no-such-workload", 1.5)
+		}()
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err == nil {
+			t.Fatalf("goroutine %d: unknown workload accepted", g)
+		}
+	}
+	if execs != 1 {
+		t.Fatalf("failing key executed %d times, want exactly 1", execs)
+	}
+	// And the error stays cached for later callers.
+	if _, err := s.Record("no-such-workload", 1.5); err == nil {
+		t.Fatal("cached error lost")
+	}
+	if execs != 1 {
+		t.Fatalf("cache hit re-executed the recording (%d executions)", execs)
+	}
+}
+
+// TestConfigWithDefaults covers zero-value and explicit fields, including
+// the Parallelism field the concurrent harness introduced.
+func TestConfigWithDefaults(t *testing.T) {
+	allSix := []string{"BS", "KM", "LR", "CC", "PR", "ALS"}
+	tests := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{
+			name: "all zero",
+			in:   Config{},
+			want: Config{Threads: 8, Factor: 1.5, Workloads: allSix, Parallelism: runtime.GOMAXPROCS(0)},
+		},
+		{
+			name: "explicit fields survive",
+			in:   Config{Threads: 4, Factor: 2.0, Workloads: []string{"CC"}, Parallelism: 3},
+			want: Config{Threads: 4, Factor: 2.0, Workloads: []string{"CC"}, Parallelism: 3},
+		},
+		{
+			name: "negative parallelism clamps to serial",
+			in:   Config{Parallelism: -7},
+			want: Config{Threads: 8, Factor: 1.5, Workloads: allSix, Parallelism: 1},
+		},
+		{
+			name: "parallelism one stays one",
+			in:   Config{Parallelism: 1},
+			want: Config{Threads: 8, Factor: 1.5, Workloads: allSix, Parallelism: 1},
+		},
+		{
+			name: "threads and factor default independently",
+			in:   Config{Threads: 16},
+			want: Config{Threads: 16, Factor: 1.5, Workloads: allSix, Parallelism: runtime.GOMAXPROCS(0)},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.withDefaults()
+			if got.Threads != tc.want.Threads || got.Factor != tc.want.Factor ||
+				got.Parallelism != tc.want.Parallelism {
+				t.Fatalf("withDefaults() = %+v, want %+v", got, tc.want)
+			}
+			if len(got.Workloads) != len(tc.want.Workloads) {
+				t.Fatalf("workloads %v, want %v", got.Workloads, tc.want.Workloads)
+			}
+			for i := range got.Workloads {
+				if got.Workloads[i] != tc.want.Workloads[i] {
+					t.Fatalf("workloads %v, want %v", got.Workloads, tc.want.Workloads)
+				}
+			}
+		})
+	}
+}
+
+// TestForEach covers the worker pool: full index coverage, bounded
+// concurrency, serial fallback, and lowest-index error selection.
+func TestForEach(t *testing.T) {
+	t.Run("covers all indices at any parallelism", func(t *testing.T) {
+		for _, par := range []int{-1, 0, 1, 2, 7, 64} {
+			var mu sync.Mutex
+			seen := map[int]int{}
+			err := forEach(par, 20, func(i int) error {
+				mu.Lock()
+				seen[i]++
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seen) != 20 {
+				t.Fatalf("par=%d: visited %d indices", par, len(seen))
+			}
+			for i, n := range seen {
+				if n != 1 {
+					t.Fatalf("par=%d: index %d visited %d times", par, i, n)
+				}
+			}
+		}
+	})
+	t.Run("empty and negative n", func(t *testing.T) {
+		for _, n := range []int{0, -3} {
+			if err := forEach(8, n, func(int) error { t.Fatal("called"); return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	t.Run("lowest-index error wins", func(t *testing.T) {
+		e3, e7 := &indexError{3}, &indexError{7}
+		for _, par := range []int{1, 4} {
+			err := forEach(par, 10, func(i int) error {
+				switch i {
+				case 3:
+					return e3
+				case 7:
+					return e7
+				}
+				return nil
+			})
+			if err != e3 {
+				t.Fatalf("par=%d: got %v, want error from index 3", par, err)
+			}
+		}
+	})
+	t.Run("serial stops at first error", func(t *testing.T) {
+		ran := 0
+		err := forEach(1, 10, func(i int) error {
+			ran++
+			if i == 2 {
+				return &indexError{2}
+			}
+			return nil
+		})
+		if err == nil || ran != 3 {
+			t.Fatalf("err=%v ran=%d, want error after 3 calls", err, ran)
+		}
+	})
+	t.Run("grid is row-major", func(t *testing.T) {
+		var mu sync.Mutex
+		var cells [][2]int
+		if err := forEachGrid(4, 3, 2, func(i, j int) error {
+			mu.Lock()
+			cells = append(cells, [2]int{i, j})
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) != 6 {
+			t.Fatalf("visited %d cells", len(cells))
+		}
+		seen := map[[2]int]bool{}
+		for _, c := range cells {
+			if c[0] < 0 || c[0] > 2 || c[1] < 0 || c[1] > 1 || seen[c] {
+				t.Fatalf("bad or duplicate cell %v", c)
+			}
+			seen[c] = true
+		}
+	})
+}
+
+type indexError struct{ i int }
+
+func (e *indexError) Error() string { return "error at index" }
+
+// TestParallelFigureMatchesSerial renders Figure 12 from a serial session
+// and a parallelism-8 session and requires byte-identical output — the
+// in-package determinism gate (the full-suite one lives in the root
+// package). Under -race this doubles as a race test of the fan-out path.
+func TestParallelFigureMatchesSerial(t *testing.T) {
+	serial := NewSession(Config{Workloads: []string{"BS"}, Parallelism: -1})
+	rs, err := Fig12(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewSession(Config{Workloads: []string{"BS"}, Parallelism: 8})
+	rp, err := Fig12(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rp.Render(), rs.Render(); got != want {
+		t.Fatalf("parallel render diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+	}
+	if !strings.Contains(rs.Render(), "BS") {
+		t.Fatal("render missing workload row")
+	}
+}

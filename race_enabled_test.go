@@ -1,0 +1,9 @@
+//go:build race
+
+package charonsim
+
+// raceEnabled reports whether the race detector is compiled in. The
+// determinism tests shrink their experiment set under -race: the detector
+// slows simulation ~10x, and race coverage of the fan-out machinery does
+// not need the full figure suite — only the concurrent paths exercised.
+const raceEnabled = true
