@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test short race golden bench parbench ci
+.PHONY: build vet test short race golden bench parbench audit ci
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,16 @@ golden:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
 
+# Invariant audit: vet plus the cross-component conservation and
+# utilization-range checks (byte conservation between requesters and DRAM
+# banks, utilization gauges in [0,1], unit-busy double accounting).
+audit:
+	$(GO) vet ./...
+	$(GO) test -timeout 10m -run 'Invariant|Conservation|Utilization|BusyNeverExceeds|PerUnitMetrics|RequesterBytes|ConfigValidate' ./internal/exec ./internal/charon ./internal/sim .
+
 # Serial-vs-parallel wall-time comparison (also verifies byte-identical
 # output across parallelism settings).
 parbench:
 	$(GO) test -bench=BenchmarkSuiteSerialVsParallel -benchtime=1x -timeout 60m
 
-ci: vet build test race
+ci: vet build test race audit

@@ -150,8 +150,8 @@ func BenchmarkFig15Scalability(b *testing.B) {
 			ddr8 = append(ddr8, r.Throughput[w][exec.KindDDR4][3])
 			charon8 = append(charon8, r.Throughput[w][exec.KindCharon][3])
 		}
-		b.ReportMetric(stats.Geomean(ddr8), "ddr4-8T-x")
-		b.ReportMetric(stats.Geomean(charon8), "charon-8T-x")
+		b.ReportMetric(stats.MustGeomean(ddr8), "ddr4-8T-x")
+		b.ReportMetric(stats.MustGeomean(charon8), "charon-8T-x")
 	}
 }
 

@@ -31,13 +31,17 @@ package charonsim
 
 import (
 	"fmt"
+	"math"
+	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"charonsim/internal/energy"
 	"charonsim/internal/exec"
 	"charonsim/internal/experiments"
 	"charonsim/internal/gc"
+	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
 	"charonsim/internal/workload"
 )
@@ -53,17 +57,126 @@ type Config struct {
 	Workloads []string
 	// Parallelism bounds how many simulations (workload recordings and
 	// platform replays) the harness runs concurrently on the host machine
-	// (default runtime.GOMAXPROCS(0); values < 0 force serial execution).
+	// (default runtime.GOMAXPROCS(0); -1 forces serial execution).
 	// It changes wall-clock time only: every simulation unit is
 	// independent, so Report.Text is byte-identical at any parallelism
 	// level. This is host-side concurrency, unrelated to Threads (the
 	// number of simulated GC threads).
 	Parallelism int
+	// MetricsPath, when non-empty, writes a snapshot of every simulated
+	// component's counters (cores, caches, DRAM banks, HMC links and
+	// vaults, Charon units, conservation totals) after the run: CSV when
+	// the path ends in ".csv", indented JSON otherwise. Metric values are
+	// byte-identical at every Parallelism setting.
+	MetricsPath string
+	// TracePath, when non-empty, writes a chrome://tracing-loadable JSON
+	// event trace (GC pauses, cache flushes, per-unit Charon offloads).
+	// Requires MetricsPath: the trace's companion counters (span totals,
+	// drop counts) land in the metrics snapshot.
+	TracePath string
 }
 
 func (c Config) toInternal() experiments.Config {
 	return experiments.Config{Threads: c.Threads, Factor: c.HeapFactor,
 		Workloads: c.Workloads, Parallelism: c.Parallelism}
+}
+
+// Validate rejects configurations that withDefaults would otherwise paper
+// over: negative thread counts, non-finite or negative heap factors,
+// parallelism below the documented -1 serial sentinel, unknown workload
+// names, and a trace request without a metrics snapshot to accompany it.
+func (c Config) Validate() error {
+	if c.Threads < 0 {
+		return fmt.Errorf("charonsim: Threads must be >= 0 (0 selects the default), got %d", c.Threads)
+	}
+	if c.HeapFactor < 0 || math.IsNaN(c.HeapFactor) || math.IsInf(c.HeapFactor, 0) {
+		return fmt.Errorf("charonsim: HeapFactor must be a finite value >= 0 (0 selects the default), got %v", c.HeapFactor)
+	}
+	if c.Parallelism < -1 {
+		return fmt.Errorf("charonsim: Parallelism must be >= -1 (-1 = serial, 0 = GOMAXPROCS), got %d", c.Parallelism)
+	}
+	known := map[string]bool{}
+	for _, w := range workload.Names() {
+		known[w] = true
+	}
+	for _, w := range c.Workloads {
+		if !known[w] {
+			return fmt.Errorf("charonsim: unknown workload %q (have %v)", w, workload.Names())
+		}
+	}
+	if c.TracePath != "" && c.MetricsPath == "" {
+		return fmt.Errorf("charonsim: TracePath requires MetricsPath (the trace's summary counters are part of the metrics snapshot)")
+	}
+	return nil
+}
+
+// observability builds the registry/recorder the config asks for (nil
+// means disabled; all their methods are nil-safe).
+func (c Config) observability() (*metrics.Registry, *metrics.Recorder) {
+	var reg *metrics.Registry
+	var rec *metrics.Recorder
+	if c.MetricsPath != "" {
+		reg = metrics.NewRegistry()
+	}
+	if c.TracePath != "" {
+		rec = metrics.NewRecorder(0)
+	}
+	return reg, rec
+}
+
+// sessionFor validates cfg and builds the session plus its observability
+// sinks.
+func sessionFor(cfg Config) (*experiments.Session, *metrics.Registry, *metrics.Recorder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	reg, rec := cfg.observability()
+	icfg := cfg.toInternal()
+	icfg.Metrics = reg
+	icfg.Trace = rec
+	return experiments.NewSession(icfg), reg, rec, nil
+}
+
+// writeObservability flushes the collected metrics snapshot and trace to
+// the configured paths.
+func writeObservability(cfg Config, reg *metrics.Registry, rec *metrics.Recorder) error {
+	if reg.Enabled() {
+		if rec.Enabled() {
+			// Fold the trace's own accounting into the snapshot.
+			reg.AddUint("trace/events", uint64(rec.Len()))
+			reg.AddUint("trace/dropped", rec.Dropped())
+		}
+		f, err := os.Create(cfg.MetricsPath)
+		if err != nil {
+			return fmt.Errorf("charonsim: metrics: %w", err)
+		}
+		snap := reg.Snapshot()
+		if strings.HasSuffix(cfg.MetricsPath, ".csv") {
+			err = snap.WriteCSV(f)
+		} else {
+			err = snap.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("charonsim: metrics: %w", err)
+		}
+	}
+	if rec.Enabled() {
+		f, err := os.Create(cfg.TracePath)
+		if err != nil {
+			return fmt.Errorf("charonsim: trace: %w", err)
+		}
+		err = rec.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("charonsim: trace: %w", err)
+		}
+	}
+	return nil
 }
 
 // Report is a rendered experiment result.
@@ -252,9 +365,15 @@ func Run(id string, cfg Config) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("charonsim: unknown experiment %q (have %v)", id, Experiments())
 	}
-	s := experiments.NewSession(cfg.toInternal())
+	s, reg, rec, err := sessionFor(cfg)
+	if err != nil {
+		return nil, err
+	}
 	text, err := e.run(s)
 	if err != nil {
+		return nil, err
+	}
+	if err := writeObservability(cfg, reg, rec); err != nil {
 		return nil, err
 	}
 	return &Report{ID: id, Title: e.title, Text: text}, nil
@@ -267,7 +386,10 @@ func Run(id string, cfg Config) (*Report, error) {
 // byte-identical at every parallelism level; on error, the reports for
 // experiments ordered before the first failing one are still returned.
 func RunAll(cfg Config) ([]*Report, error) {
-	s := experiments.NewSession(cfg.toInternal())
+	s, reg, rec, err := sessionFor(cfg)
+	if err != nil {
+		return nil, err
+	}
 	ids := Experiments()
 	reports := make([]*Report, len(ids))
 	errs := make([]error, len(ids))
@@ -291,6 +413,9 @@ func RunAll(cfg Config) ([]*Report, error) {
 			return out, fmt.Errorf("%s: %w", id, errs[i])
 		}
 		out = append(out, reports[i])
+	}
+	if err := writeObservability(cfg, reg, rec); err != nil {
+		return out, err
 	}
 	return out, nil
 }
@@ -335,6 +460,9 @@ func (g *GCStats) Overhead() float64 {
 func SimulateGC(name string, factor float64, p Platform, threads int) (*GCStats, error) {
 	kind, err := p.kind()
 	if err != nil {
+		return nil, err
+	}
+	if err := (Config{Threads: threads, HeapFactor: factor, Workloads: []string{name}}).Validate(); err != nil {
 		return nil, err
 	}
 	if factor == 0 {
@@ -395,6 +523,9 @@ type GCEvent struct {
 func SimulateGCEvents(name string, factor float64, p Platform, threads int) ([]GCEvent, error) {
 	kind, err := p.kind()
 	if err != nil {
+		return nil, err
+	}
+	if err := (Config{Threads: threads, HeapFactor: factor, Workloads: []string{name}}).Validate(); err != nil {
 		return nil, err
 	}
 	if factor == 0 {

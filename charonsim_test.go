@@ -1,6 +1,10 @@
 package charonsim
 
 import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -223,5 +227,147 @@ func TestSimulateGCEvents(t *testing.T) {
 	// Per-event times truncate to nanoseconds individually.
 	if diff > int64(len(events)) {
 		t.Fatalf("per-event sum %d != aggregate %d", total, int64(agg.TotalPause))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; empty = valid
+	}{
+		{"zero value", Config{}, ""},
+		{"explicit defaults", Config{Threads: 8, HeapFactor: 1.5, Parallelism: 0}, ""},
+		{"serial sentinel", Config{Parallelism: -1}, ""},
+		{"negative threads", Config{Threads: -1}, "Threads"},
+		{"negative factor", Config{HeapFactor: -0.5}, "HeapFactor"},
+		{"NaN factor", Config{HeapFactor: math.NaN()}, "HeapFactor"},
+		{"Inf factor", Config{HeapFactor: math.Inf(1)}, "HeapFactor"},
+		{"parallelism below sentinel", Config{Parallelism: -2}, "Parallelism"},
+		{"unknown workload", Config{Workloads: []string{"BS", "nope"}}, "nope"},
+		{"known workloads", Config{Workloads: []string{"BS", "CC"}}, ""},
+		{"trace without metrics", Config{TracePath: "t.json"}, "MetricsPath"},
+		{"trace with metrics", Config{MetricsPath: "m.json", TracePath: "t.json"}, ""},
+		{"metrics alone", Config{MetricsPath: "m.csv"}, ""},
+	}
+	for _, tc := range tests {
+		err := tc.cfg.Validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	if _, err := Run("fig12", Config{Parallelism: -2}); err == nil {
+		t.Fatal("Run accepted Parallelism=-2")
+	}
+	if _, err := RunAll(Config{Workloads: []string{"nope"}}); err == nil {
+		t.Fatal("RunAll accepted an unknown workload")
+	}
+	if _, err := Run("table1", Config{TracePath: "t.json"}); err == nil {
+		t.Fatal("Run accepted a trace request without a metrics path")
+	}
+	if _, err := SimulateGC("BS", math.NaN(), PlatformDDR4, 8); err == nil {
+		t.Fatal("SimulateGC accepted a NaN heap factor")
+	}
+	if _, err := SimulateGC("BS", 1.5, PlatformDDR4, -3); err == nil {
+		t.Fatal("SimulateGC accepted a negative thread count")
+	}
+	if _, err := SimulateGCEvents("BS", -1, PlatformDDR4, 8); err == nil {
+		t.Fatal("SimulateGCEvents accepted a negative heap factor")
+	}
+}
+
+func TestRunWritesMetricsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Workloads: []string{"BS"},
+		MetricsPath: filepath.Join(dir, "metrics.json"),
+		TracePath:   filepath.Join(dir, "trace.json")}
+	rep, err := Run("fig12", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero-cost invariant: the rendered report is byte-identical with
+	// observability on and off.
+	plain, err := Run("fig12", Config{Workloads: []string{"BS"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Text != plain.Text {
+		t.Fatal("enabling metrics changed Report.Text")
+	}
+
+	raw, err := os.ReadFile(cfg.MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]float64 `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not JSON: %v", err)
+	}
+	for _, want := range []string{"trace/events", "charon/charon/offload_copy", "ddr4/sim/events"} {
+		if _, ok := snap.Counters[want]; !ok {
+			t.Errorf("snapshot missing counter %s", want)
+		}
+	}
+	for name, v := range snap.Gauges {
+		if strings.HasSuffix(name, "util") && (v < 0 || v > 1) {
+			t.Errorf("gauge %s = %v outside [0,1]", name, v)
+		}
+	}
+
+	traw, err := os.ReadFile(cfg.TracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traw, &tf); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+func TestRunWritesMetricsCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.csv")
+	if _, err := Run("fig12", Config{Workloads: []string{"BS"}, MetricsPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if lines[0] != "name,kind,count,sum,min,mean,max" {
+		t.Fatalf("bad CSV header %q", lines[0])
+	}
+	if len(lines) < 10 {
+		t.Fatalf("only %d CSV rows", len(lines))
+	}
+}
+
+func TestRunMetricsPathUnwritable(t *testing.T) {
+	cfg := Config{Workloads: []string{"BS"},
+		MetricsPath: filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")}
+	if _, err := Run("fig12", cfg); err == nil {
+		t.Fatal("unwritable metrics path did not error")
+	} else if !strings.Contains(err.Error(), "metrics") {
+		t.Fatalf("error %v does not name the metrics sink", err)
 	}
 }

@@ -26,12 +26,14 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		threads   = flag.Int("threads", 8, "GC thread count")
-		factor    = flag.Float64("factor", 1.5, "heap overprovisioning factor (1.0 = minimum heap)")
-		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all six)")
-		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, <0 = serial); output is identical at any setting")
-		list      = flag.Bool("list", false, "list experiments and workloads, then exit")
+		exp         = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		threads     = flag.Int("threads", 8, "GC thread count")
+		factor      = flag.Float64("factor", 1.5, "heap overprovisioning factor (1.0 = minimum heap)")
+		workloads   = flag.String("workloads", "", "comma-separated workload subset (default: all six)")
+		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, -1 = serial); output is identical at any setting")
+		list        = flag.Bool("list", false, "list experiments and workloads, then exit")
+		metricsPath = flag.String("metrics", "", "write a component-counter snapshot here after the run (.csv = CSV, otherwise JSON)")
+		tracePath   = flag.String("trace", "", "write a chrome://tracing JSON event trace here (requires -metrics)")
 	)
 	flag.Parse()
 
@@ -48,9 +50,14 @@ func main() {
 		return
 	}
 
-	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor, Parallelism: *parallel}
+	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor, Parallelism: *parallel,
+		MetricsPath: *metricsPath, TracePath: *tracePath}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	start := time.Now()
@@ -66,7 +73,7 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "charonsim: %v\n", err)
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	for _, r := range reports {

@@ -8,6 +8,7 @@ package cache
 import (
 	"fmt"
 
+	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
 )
 
@@ -128,6 +129,18 @@ func New(cfg Config) *Cache {
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
+
+// Collect publishes the cache's event counters into reg under prefix.
+// No-op when reg is disabled.
+func (c *Cache) Collect(reg *metrics.Registry, prefix string) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.AddUint(prefix+"/hits", c.Stats.Hits)
+	reg.AddUint(prefix+"/misses", c.Stats.Misses)
+	reg.AddUint(prefix+"/writebacks", c.Stats.Writebacks)
+	reg.AddUint(prefix+"/flushes", c.Stats.Flushes)
+}
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	blk := addr / c.cfg.BlockSize

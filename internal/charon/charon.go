@@ -25,6 +25,7 @@ import (
 	"charonsim/internal/cache"
 	"charonsim/internal/hmc"
 	"charonsim/internal/memsys"
+	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
 )
 
@@ -99,6 +100,12 @@ type Stats struct {
 	TLBAccesses    uint64
 	TLBRemote      uint64
 	TLBWalks       uint64
+
+	// Mem counts the memory requests the units issued (every memAccess
+	// call: streams, header loads, bitmap fills, writebacks, flushes).
+	// This is the accelerator's requester side of the byte-conservation
+	// invariant against the vault controllers' served traffic.
+	Mem memsys.Stats
 }
 
 // Unit kinds for stats indexing.
@@ -113,6 +120,7 @@ const (
 type unit struct {
 	freeAt sim.Time
 	busy   sim.Time
+	reqs   uint64 // offloads serviced by this unit
 }
 
 // mai is a cube's Memory Access Interface: a bounded request buffer that
@@ -165,6 +173,10 @@ type Accelerator struct {
 	// process id (PCID).
 	tlbs []*TLB
 	pcid uint16
+
+	// rec, when set, receives one trace span per offload. Nil disables
+	// recording (all Recorder methods are nil-safe).
+	rec *metrics.Recorder
 
 	Stats Stats
 }
@@ -264,6 +276,7 @@ func (a *Accelerator) transportResponse(t sim.Time, cube int, bytes uint32) sim.
 // links for remote addresses) for near-memory placement, or over the full
 // host link path for CPU-side placement.
 func (a *Accelerator) memAccess(start sim.Time, cube int, kind memsys.Kind, addr uint64, size uint32) sim.Time {
+	a.Stats.Mem.Record(&memsys.Request{Kind: kind, Size: size})
 	if a.cfg.CPUSide {
 		return a.sys.HostAccessAt(start, kind, addr, size)
 	}

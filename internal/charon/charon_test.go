@@ -1,9 +1,11 @@
 package charon
 
 import (
+	"strings"
 	"testing"
 
 	"charonsim/internal/hmc"
+	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
 )
 
@@ -399,5 +401,108 @@ func TestUnifiedTLBRemotePenalty(t *testing.T) {
 	}
 	if aU.Stats.TLBRemote == 0 || aD.Stats.TLBRemote != 0 {
 		t.Fatalf("remote counters: unified %d, distributed %d", aU.Stats.TLBRemote, aD.Stats.TLBRemote)
+	}
+}
+
+// scriptedOffloads drives a fixed descriptor sequence exercising every
+// offload kind across several cubes, returning the host-visible finish.
+func scriptedOffloads(a *Accelerator) sim.Time {
+	t := sim.Time(0)
+	for c := uint64(0); c < 3; c++ {
+		base := c << cubeShift
+		t = a.OffloadCopy(t, base, base+1<<20, 4096)
+		t = a.OffloadSearch(t, base+2<<10, 2048)
+		t = a.OffloadBitmapCount(t, base+4096, base+1<<21, 512)
+	}
+	t = a.OffloadScanPush(t, 8192, []RefOp{
+		{Slot: 8192, Target: 1 << 21, CheckHeader: true},
+		{Slot: 16384, Target: 2 << 21},
+	}, 1<<30)
+	return t
+}
+
+func TestPerUnitMetricsAgreeWithUnitBusy(t *testing.T) {
+	// The per-unit metric counters and the UnitBusy aggregate are two
+	// independent accountings of the same reservations; they must agree
+	// exactly on a scripted descriptor sequence.
+	a, _ := newAccel(false)
+	if end := scriptedOffloads(a); end == 0 {
+		t.Fatal("scripted sequence did not run")
+	}
+	reg := metrics.NewRegistry()
+	a.Collect(reg, "charon", 0)
+
+	var csM, spM, bcM sim.Time
+	var csReq, spReq, bcReq, other float64
+	for _, name := range reg.Names() {
+		switch {
+		case strings.Contains(name, "/copysearch"):
+			if strings.HasSuffix(name, "/busy_ps") {
+				csM += sim.Time(reg.Counter(name))
+			} else if strings.HasSuffix(name, "/requests") {
+				csReq += reg.Counter(name)
+			}
+		case strings.Contains(name, "/scanpush") && !strings.HasPrefix(name, "charon/offload"):
+			if strings.HasSuffix(name, "/busy_ps") {
+				spM += sim.Time(reg.Counter(name))
+			} else if strings.HasSuffix(name, "/requests") {
+				spReq += reg.Counter(name)
+			}
+		case strings.Contains(name, "/bitmapcount") && !strings.HasPrefix(name, "charon/offload"):
+			if strings.HasSuffix(name, "/busy_ps") {
+				bcM += sim.Time(reg.Counter(name))
+			} else if strings.HasSuffix(name, "/requests") {
+				bcReq += reg.Counter(name)
+			}
+		default:
+			other++
+		}
+	}
+	cs, sp, bc := a.UnitBusy()
+	if csM != cs || spM != sp || bcM != bc {
+		t.Fatalf("busy accounting disagrees: metrics (%v, %v, %v) vs UnitBusy (%v, %v, %v)",
+			csM, spM, bcM, cs, sp, bc)
+	}
+	if want := float64(a.Stats.Offloads[KCopy] + a.Stats.Offloads[KSearch]); csReq != want {
+		t.Fatalf("copysearch requests %v, want %v", csReq, want)
+	}
+	if want := float64(a.Stats.Offloads[KScanPush]); spReq != want {
+		t.Fatalf("scanpush requests %v, want %v", spReq, want)
+	}
+	if want := float64(a.Stats.Offloads[KBitmapCount]); bcReq != want {
+		t.Fatalf("bitmapcount requests %v, want %v", bcReq, want)
+	}
+	if other == 0 {
+		t.Fatal("expected offload/tlb/cache counters beyond the unit ones")
+	}
+}
+
+func TestTraceSpanPerOffload(t *testing.T) {
+	a, _ := newAccel(false)
+	rec := metrics.NewRecorder(0)
+	a.SetRecorder(rec)
+	scriptedOffloads(a)
+	var offs uint64
+	for _, n := range a.Stats.Offloads {
+		offs += n
+	}
+	if got := uint64(rec.Len()); got != offs {
+		t.Fatalf("recorded %d spans for %d offloads", got, offs)
+	}
+}
+
+func TestRequesterBytesMatchVaultService(t *testing.T) {
+	// The accelerator-local form of the byte-conservation invariant: what
+	// memAccess requested equals what the vaults served (no host traffic
+	// here, so the two sides are directly comparable).
+	a, _ := newAccel(false)
+	scriptedOffloads(a)
+	if a.Stats.Mem.Bytes() == 0 {
+		t.Fatal("no requester-side traffic recorded")
+	}
+	vs := a.sys.VaultStats()
+	if a.Stats.Mem.ReadBytes != vs.ReadBytes || a.Stats.Mem.WriteBytes != vs.WriteBytes {
+		t.Fatalf("requested (%d r / %d w) != served (%d r / %d w)",
+			a.Stats.Mem.ReadBytes, a.Stats.Mem.WriteBytes, vs.ReadBytes, vs.WriteBytes)
 	}
 }

@@ -1,0 +1,98 @@
+package charon
+
+import (
+	"fmt"
+
+	"charonsim/internal/metrics"
+	"charonsim/internal/sim"
+)
+
+// Trace layout: process 0 is the host (the exec layer emits GC-event
+// spans there); process 1+cube is a cube's logic layer. Thread ids group
+// units by kind so chrome://tracing renders one row per unit.
+const (
+	TracePidHost = 0
+	tidCopy      = 10 // copysearch unit u -> tid 10+u
+	tidBitmap    = 20 // bitmapcount unit u -> tid 20+u
+	tidScanPush  = 30 // scanpush unit u -> tid 30+u
+)
+
+// SetRecorder attaches a trace recorder: every offload emits one span on
+// its unit's timeline. Passing nil disables recording.
+func (a *Accelerator) SetRecorder(rec *metrics.Recorder) {
+	a.rec = rec
+	if rec == nil {
+		return
+	}
+	for c := range a.copySearch {
+		pid := 1 + c
+		rec.NameProcess(pid, fmt.Sprintf("cube%d", c))
+		for u := range a.copySearch[c] {
+			rec.NameThread(pid, tidCopy+u, fmt.Sprintf("copysearch%d", u))
+		}
+		for u := range a.bitmapCount[c] {
+			rec.NameThread(pid, tidBitmap+u, fmt.Sprintf("bitmapcount%d", u))
+		}
+	}
+	for u := range a.scanPush {
+		rec.NameThread(1, tidScanPush+u, fmt.Sprintf("scanpush%d", u))
+	}
+}
+
+// span emits one unit-occupancy span on cube `cube`'s timeline.
+func (a *Accelerator) span(name string, cube, tid int, start, end sim.Time) {
+	a.rec.Span(name, "charon", 1+cube, tid, start, end)
+}
+
+// Collect publishes the accelerator's counters under prefix: offload and
+// transport totals, the bitmap caches, the TLBs, the units' requester-side
+// memory traffic, and per-unit busy time and request counts. No-op when
+// reg is disabled.
+func (a *Accelerator) Collect(reg *metrics.Registry, prefix string, horizon sim.Time) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.AddUint(prefix+"/offload_copy", a.Stats.Offloads[KCopy])
+	reg.AddUint(prefix+"/offload_search", a.Stats.Offloads[KSearch])
+	reg.AddUint(prefix+"/offload_scanpush", a.Stats.Offloads[KScanPush])
+	reg.AddUint(prefix+"/offload_bitmapcount", a.Stats.Offloads[KBitmapCount])
+	reg.AddUint(prefix+"/request_packets", a.Stats.RequestPackets)
+	reg.AddUint(prefix+"/response_bytes", a.Stats.ResponseBytes)
+	reg.AddUint(prefix+"/tlb_accesses", a.Stats.TLBAccesses)
+	reg.AddUint(prefix+"/tlb_remote", a.Stats.TLBRemote)
+	reg.AddUint(prefix+"/tlb_walks", a.Stats.TLBWalks)
+	reg.AddUint(prefix+"/mem_read_bytes", a.Stats.Mem.ReadBytes)
+	reg.AddUint(prefix+"/mem_write_bytes", a.Stats.Mem.WriteBytes)
+	for i, c := range a.bmCaches {
+		c.Collect(reg, fmt.Sprintf("%s/bmcache%d", prefix, i))
+	}
+	collectUnits := func(base string, us []unit) {
+		for u := range us {
+			p := fmt.Sprintf("%s%d", base, u)
+			reg.AddUint(p+"/busy_ps", uint64(us[u].busy))
+			reg.AddUint(p+"/requests", us[u].reqs)
+			if horizon > 0 {
+				reg.SetMax(p+"/util", utilization(us[u].busy, horizon))
+			}
+		}
+	}
+	for c := range a.copySearch {
+		collectUnits(fmt.Sprintf("%s/cube%d/copysearch", prefix, c), a.copySearch[c])
+		collectUnits(fmt.Sprintf("%s/cube%d/bitmapcount", prefix, c), a.bitmapCount[c])
+	}
+	collectUnits(prefix+"/scanpush", a.scanPush)
+}
+
+// utilization clamps busy/horizon into [0, 1]. A unit's busy time can
+// never exceed the horizon (reservations on one unit are serial), but the
+// clamp keeps the invariant robust against float rounding.
+func utilization(busy, horizon sim.Time) float64 {
+	if horizon == 0 {
+		return 0
+	}
+	u := float64(busy) / float64(horizon)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

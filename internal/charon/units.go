@@ -58,6 +58,8 @@ func (a *Accelerator) OffloadCopy(t sim.Time, src, dst uint64, size uint32) sim.
 	}
 	a.copySearch[cube][u].busy += last - start
 	a.copySearch[cube][u].freeAt = last
+	a.copySearch[cube][u].reqs++
+	a.span("copy", cube, tidCopy+u, start, last)
 	return a.transportResponse(last, cube, hmc.RespPlainBytes)
 }
 
@@ -96,6 +98,8 @@ func (a *Accelerator) OffloadSearch(t sim.Time, start64 uint64, size uint32) sim
 	}
 	a.copySearch[cube][u].busy += last - start
 	a.copySearch[cube][u].freeAt = last
+	a.copySearch[cube][u].reqs++
+	a.span("search", cube, tidCopy+u, start, last)
 	// Search returns a value: 32 B response.
 	return a.transportResponse(last, cube, hmc.RespValueBytes)
 }
@@ -135,6 +139,8 @@ func (a *Accelerator) OffloadBitmapCount(t sim.Time, begAddr, endAddr uint64, si
 	}
 	a.bitmapCount[cube][u].busy += last - start
 	a.bitmapCount[cube][u].freeAt = last
+	a.bitmapCount[cube][u].reqs++
+	a.span("bitmapcount", cube, tidBitmap+u, start, last)
 	return a.transportResponse(last, cube, hmc.RespValueBytes)
 }
 
@@ -231,6 +237,8 @@ func (a *Accelerator) OffloadScanPush(t sim.Time, obj uint64, refs []RefOp, stac
 	}
 	a.scanPush[u].busy += last - start
 	a.scanPush[u].freeAt = last
+	a.scanPush[u].reqs++
+	a.span("scanpush", cube, tidScanPush+u, start, last)
 	return a.transportResponse(last, cube, hmc.RespPlainBytes)
 }
 

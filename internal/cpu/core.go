@@ -20,8 +20,11 @@
 package cpu
 
 import (
+	"fmt"
+
 	"charonsim/internal/cache"
 	"charonsim/internal/memsys"
+	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
 )
 
@@ -91,6 +94,23 @@ type Stats struct {
 	CacheMisses  uint64
 	Prefetches   uint64 // stream-prefetched misses
 	Busy         sim.Time
+
+	// WindowStalls counts ops that waited for the in-order retirement of
+	// the op WindowSize slots earlier; WindowStallTime is the summed wait.
+	WindowStalls    uint64
+	WindowStallTime sim.Time
+	// MSHRStalls counts misses that waited for a free MSHR;
+	// MSHRStallTime is the summed wait before issue.
+	MSHRStalls    uint64
+	MSHRStallTime sim.Time
+	// MaxInflight is the high-water mark of outstanding misses.
+	MaxInflight int
+
+	// Mem counts the requests this core issued to the memory backend
+	// (post-cache: demand misses, prefetches, writebacks, flushes). This is
+	// the requester side of the byte-conservation invariant — it must equal
+	// the traffic the DRAM controllers serve on behalf of this core.
+	Mem memsys.Stats
 }
 
 // IPC returns instructions per cycle over the busy period.
@@ -158,6 +178,9 @@ func (c *Core) mshrReserve(ready sim.Time, complete func(start sim.Time) sim.Tim
 	if len(c.mshr) < c.cfg.MSHRs {
 		done := complete(ready)
 		c.mshr = append(c.mshr, done)
+		if len(c.mshr) > c.Stats.MaxInflight {
+			c.Stats.MaxInflight = len(c.mshr)
+		}
 		return done
 	}
 	// Find the earliest-free MSHR.
@@ -169,6 +192,8 @@ func (c *Core) mshrReserve(ready sim.Time, complete func(start sim.Time) sim.Tim
 	}
 	start := ready
 	if c.mshr[idx] > start {
+		c.Stats.MSHRStalls++
+		c.Stats.MSHRStallTime += c.mshr[idx] - start
 		start = c.mshr[idx]
 	}
 	done := complete(start)
@@ -210,6 +235,8 @@ func (c *Core) ExecBatch(start sim.Time, ops []Op, depBase int) sim.Time {
 
 		// Window: the op WindowSize slots earlier must have retired.
 		if old := c.retireRing[c.retireIdx]; old > c.cursor {
+			c.Stats.WindowStalls++
+			c.Stats.WindowStallTime += old - c.cursor
 			c.cursor = old
 		}
 
@@ -264,12 +291,14 @@ func (c *Core) ExecBatch(start sim.Time, ops []Op, depBase int) sim.Time {
 						// MSHR), so the demand load sees at most the
 						// residual latency. Bandwidth is still charged.
 						c.Stats.Prefetches++
+						c.Stats.Mem.Record(&memsys.Request{Kind: kind, Size: 64})
 						memDone := c.mem.AccessAt(ready, kind, a, 64)
 						d = ready + r.Latency
 						if memDone > c.cfg.PrefetchLead && memDone-c.cfg.PrefetchLead > d {
 							d = memDone - c.cfg.PrefetchLead
 						}
 					} else {
+						c.Stats.Mem.Record(&memsys.Request{Kind: kind, Size: 64})
 						d = c.mshrReserve(ready+r.Latency, func(st sim.Time) sim.Time {
 							return c.mem.AccessAt(st, kind, a, 64)
 						})
@@ -281,6 +310,7 @@ func (c *Core) ExecBatch(start sim.Time, ops []Op, depBase int) sim.Time {
 				// Dirty victims write back asynchronously (no stall), but
 				// the traffic is charged to the memory system.
 				for _, wb := range r.Writebacks {
+					c.Stats.Mem.Record(&memsys.Request{Kind: memsys.Write, Size: 64})
 					c.mem.AccessAt(d, memsys.Write, wb, 64)
 				}
 				if d > done {
@@ -316,6 +346,7 @@ func (c *Core) FlushCaches(t sim.Time) sim.Time {
 	last := t
 	for _, level := range c.hier.Levels {
 		for _, addr := range level.DirtyLines() {
+			c.Stats.Mem.Record(&memsys.Request{Kind: memsys.Write, Size: 64})
 			if d := c.mem.AccessAt(t, memsys.Write, addr, 64); d > last {
 				last = d
 			}
@@ -362,7 +393,45 @@ func (h *Host) Stats() Stats {
 		s.MemAccesses += c.Stats.MemAccesses
 		s.CacheHits += c.Stats.CacheHits
 		s.CacheMisses += c.Stats.CacheMisses
+		s.Prefetches += c.Stats.Prefetches
 		s.Busy += c.Stats.Busy
+		s.WindowStalls += c.Stats.WindowStalls
+		s.WindowStallTime += c.Stats.WindowStallTime
+		s.MSHRStalls += c.Stats.MSHRStalls
+		s.MSHRStallTime += c.Stats.MSHRStallTime
+		if c.Stats.MaxInflight > s.MaxInflight {
+			s.MaxInflight = c.Stats.MaxInflight
+		}
+		s.Mem.Add(c.Stats.Mem)
 	}
 	return s
+}
+
+// Collect publishes per-core and aggregate counters into reg under
+// prefix (e.g. "ddr4/cpu"). No-op when reg is disabled.
+func (h *Host) Collect(reg *metrics.Registry, prefix string) {
+	if !reg.Enabled() {
+		return
+	}
+	for i, c := range h.Cores {
+		p := fmt.Sprintf("%s/core%d", prefix, i)
+		s := &c.Stats
+		reg.AddUint(p+"/ops", s.Ops)
+		reg.AddUint(p+"/instructions", s.Instructions)
+		reg.AddUint(p+"/mem_accesses", s.MemAccesses)
+		reg.AddUint(p+"/cache_hits", s.CacheHits)
+		reg.AddUint(p+"/cache_misses", s.CacheMisses)
+		reg.AddUint(p+"/prefetches", s.Prefetches)
+		reg.AddUint(p+"/busy_ps", uint64(s.Busy))
+		reg.AddUint(p+"/window_stalls", s.WindowStalls)
+		reg.AddUint(p+"/window_stall_ps", uint64(s.WindowStallTime))
+		reg.AddUint(p+"/mshr_stalls", s.MSHRStalls)
+		reg.AddUint(p+"/mshr_stall_ps", uint64(s.MSHRStallTime))
+		reg.SetMax(p+"/max_inflight_misses", float64(s.MaxInflight))
+		reg.AddUint(p+"/mem_read_bytes", s.Mem.ReadBytes)
+		reg.AddUint(p+"/mem_write_bytes", s.Mem.WriteBytes)
+		c.hier.Levels[0].Collect(reg, p+"/l1d")
+		c.hier.Levels[1].Collect(reg, p+"/l2")
+	}
+	h.L3.Collect(reg, prefix+"/l3")
 }

@@ -12,7 +12,10 @@
 package dram
 
 import (
+	"fmt"
+
 	"charonsim/internal/memsys"
+	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
 )
 
@@ -66,6 +69,12 @@ type bank struct {
 	row        uint64
 	readyAt    sim.Time // earliest next column/activate command
 	activateAt sim.Time // when the open row was activated (for tRAS)
+
+	// Row-buffer outcome counters (reads only; writes are posted and
+	// drained in row-sorted batches, so they bypass the row model).
+	rowHits      uint64
+	rowOpens     uint64 // closed-bank activates
+	rowConflicts uint64
 }
 
 // Controller is a single-bus DRAM controller: one DDR4 channel (ranks ×
@@ -92,6 +101,50 @@ func NewController(eng *sim.Engine, timing Timing, nbanks int) *Controller {
 
 // BusBusy returns the accumulated data-bus occupancy.
 func (c *Controller) BusBusy() sim.Time { return c.bus.Busy }
+
+// BusUtilization returns the fraction of [0, horizon) the data bus was
+// reserved; always in [0, 1].
+func (c *Controller) BusUtilization(horizon sim.Time) float64 {
+	return c.bus.Utilization(horizon)
+}
+
+// RowStats sums row-buffer outcomes over all banks.
+func (c *Controller) RowStats() (hits, opens, conflicts uint64) {
+	for i := range c.banks {
+		hits += c.banks[i].rowHits
+		opens += c.banks[i].rowOpens
+		conflicts += c.banks[i].rowConflicts
+	}
+	return
+}
+
+// Collect publishes the controller's counters into reg under prefix:
+// aggregate traffic, bus occupancy, and per-bank row-buffer outcomes.
+// A positive horizon additionally publishes the bus utilization gauge.
+// No-op when reg is disabled.
+func (c *Controller) Collect(reg *metrics.Registry, prefix string, horizon sim.Time) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.AddUint(prefix+"/reads", c.Stats.Reads)
+	reg.AddUint(prefix+"/writes", c.Stats.Writes)
+	reg.AddUint(prefix+"/read_bytes", c.Stats.ReadBytes)
+	reg.AddUint(prefix+"/write_bytes", c.Stats.WriteBytes)
+	reg.AddUint(prefix+"/bus_busy_ps", uint64(c.bus.Busy))
+	if horizon > 0 {
+		reg.SetMax(prefix+"/bus_util", c.bus.Utilization(horizon))
+	}
+	for i := range c.banks {
+		b := &c.banks[i]
+		if b.rowHits == 0 && b.rowOpens == 0 && b.rowConflicts == 0 {
+			continue
+		}
+		p := fmt.Sprintf("%s/bank%d", prefix, i)
+		reg.AddUint(p+"/row_hits", b.rowHits)
+		reg.AddUint(p+"/row_opens", b.rowOpens)
+		reg.AddUint(p+"/row_conflicts", b.rowConflicts)
+	}
+}
 
 // Access reserves service for one request of size bytes hitting (bankIdx,
 // row) and returns the completion time. The caller schedules its own
@@ -150,10 +203,12 @@ func (c *Controller) AccessAt(now sim.Time, kind memsys.Kind, bankIdx int, row u
 	switch {
 	case b.open && b.row == row:
 		// Row hit: column access only.
+		b.rowHits++
 		dataAt = start + c.timing.TCAS
 		b.readyAt = start + occupancy
 	case !b.open:
 		// Closed bank: activate then column access.
+		b.rowOpens++
 		b.activateAt = start
 		dataAt = start + c.timing.TRCD + c.timing.TCAS
 		b.readyAt = start + c.timing.TRCD + occupancy
@@ -161,6 +216,7 @@ func (c *Controller) AccessAt(now sim.Time, kind memsys.Kind, bankIdx int, row u
 		b.row = row
 	default:
 		// Row conflict: precharge (respecting tRAS and tWR), activate, access.
+		b.rowConflicts++
 		pre := start
 		if t := b.activateAt + c.timing.TRAS; t > pre {
 			pre = t
@@ -205,6 +261,17 @@ func (d *DDR4) Mapper() *memsys.DDR4Mapper { return d.mapper }
 
 // Channels exposes the per-channel controllers (for stats).
 func (d *DDR4) Channels() []*Controller { return d.channels }
+
+// Collect publishes per-channel counters under prefix (e.g. "ddr4"),
+// one subtree per channel. No-op when reg is disabled.
+func (d *DDR4) Collect(reg *metrics.Registry, prefix string, horizon sim.Time) {
+	if !reg.Enabled() {
+		return
+	}
+	for i, c := range d.channels {
+		c.Collect(reg, fmt.Sprintf("%s/ch%d", prefix, i), horizon)
+	}
+}
 
 // Stats sums traffic over all channels.
 func (d *DDR4) Stats() memsys.Stats {

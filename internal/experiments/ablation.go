@@ -65,11 +65,12 @@ func runAblation(s *Session, name string, points []AblationPoint, def int) (*Abl
 		if err != nil {
 			return err
 		}
-		p := exec.NewWithOptions(exec.KindCharon, run.Env, cfg.Threads, points[pi].Opt)
+		p := s.NewPlatform(exec.KindCharon, run.Env, cfg.Threads, points[pi].Opt)
 		var results []exec.Result
 		for _, ev := range run.Col.Log {
 			results = append(results, p.Replay(ev, cfg.Threads))
 		}
+		s.Observe(p)
 		t := Sum(exec.KindCharon, results, cfg.Threads)
 		grid[pi][wi] = base.Duration.Seconds() / t.Duration.Seconds()
 		return nil
@@ -78,7 +79,11 @@ func runAblation(s *Session, name string, points []AblationPoint, def int) (*Abl
 		return nil, err
 	}
 	for pi := range points {
-		res.Speedup = append(res.Speedup, stats.Geomean(grid[pi]))
+		gm, err := stats.Geomean(grid[pi])
+		if err != nil {
+			return nil, fmt.Errorf("ablation %s: %w", points[pi].Label, err)
+		}
+		res.Speedup = append(res.Speedup, gm)
 	}
 	return res, nil
 }

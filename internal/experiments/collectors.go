@@ -90,7 +90,11 @@ func CollectorStudy(s *Session) (*CollectorStudyResult, error) {
 		}
 	}
 	for _, m := range StudyModes {
-		res.Geomean[m] = stats.Geomean(acc[m])
+		gm, err := stats.Geomean(acc[m])
+		if err != nil {
+			return nil, fmt.Errorf("collector study %v: %w", m, err)
+		}
+		res.Geomean[m] = gm
 	}
 	return res, nil
 }

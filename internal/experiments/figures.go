@@ -87,7 +87,7 @@ func Fig4(s *Session, kind gc.Kind) (*Fig4Result, error) {
 		if err != nil {
 			return err
 		}
-		p := exec.New(exec.KindDDR4, r.Env, cfg.Threads)
+		p := s.NewPlatform(exec.KindDDR4, r.Env, cfg.Threads, exec.Options{})
 		var prim [gc.NumPrims]float64
 		var total float64
 		for _, ev := range r.Col.Log {
@@ -100,6 +100,7 @@ func Fig4(s *Session, kind gc.Kind) (*Fig4Result, error) {
 				total += v.Seconds()
 			}
 		}
+		s.Observe(p)
 		var share [gc.NumPrims]float64
 		key := 0.0
 		for i := range prim {
@@ -194,7 +195,11 @@ func Fig12(s *Session) (*Fig12Result, error) {
 		}
 	}
 	for _, k := range Fig12Kinds {
-		res.Geomean[k] = geomeanOf(cfg.Workloads, perKind[k])
+		gm, err := geomeanOf(cfg.Workloads, perKind[k])
+		if err != nil {
+			return nil, fmt.Errorf("fig12 %s: %w", k, err)
+		}
+		res.Geomean[k] = gm
 	}
 	return res, nil
 }
@@ -510,7 +515,11 @@ func Fig16(s *Session) (*Fig16Result, error) {
 		}
 		ratios = append(ratios, res.Speedup[name][exec.KindCharonCPUSide]/res.Speedup[name][exec.KindCharon])
 	}
-	res.CPUSideRatio = stats.Geomean(ratios)
+	ratio, err := stats.Geomean(ratios)
+	if err != nil {
+		return nil, fmt.Errorf("fig16: %w", err)
+	}
+	res.CPUSideRatio = ratio
 	return res, nil
 }
 
@@ -595,7 +604,11 @@ func Fig17(s *Session) (*Fig17Result, error) {
 		}
 	}
 	for _, k := range Fig17Kinds {
-		res.Savings[k] = 1 - stats.Geomean(norm[k])
+		gm, err := stats.Geomean(norm[k])
+		if err != nil {
+			return nil, fmt.Errorf("fig17 %s: %w", k, err)
+		}
+		res.Savings[k] = 1 - gm
 	}
 	res.CharonAvgPowerW = stats.Mean(powers)
 	return res, nil

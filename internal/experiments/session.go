@@ -14,6 +14,7 @@ import (
 	"charonsim/internal/energy"
 	"charonsim/internal/exec"
 	"charonsim/internal/gc"
+	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
 	"charonsim/internal/stats"
 	"charonsim/internal/workload"
@@ -35,6 +36,14 @@ type Config struct {
 	// replay — shares no mutable state with any other, so results are
 	// byte-identical at every parallelism level.
 	Parallelism int
+	// Metrics, when non-nil, accumulates every replayed platform's
+	// component counters (cores, caches, DRAM banks, HMC links/vaults,
+	// Charon units). Registries merge by sum/max, both commutative, so a
+	// snapshot's values are identical at every parallelism level.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, receives event spans (GC pauses, flushes,
+	// Charon offloads) from every replay.
+	Trace *metrics.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -167,14 +176,33 @@ func (s *Session) Executions() int {
 	return len(s.runs)
 }
 
+// NewPlatform builds a platform wired with the session's trace recorder.
+// Experiment code must build replay platforms through this (or Replay) so
+// the observability configuration reaches every simulated component.
+func (s *Session) NewPlatform(kind exec.Kind, env exec.Env, threads int, opt exec.Options) exec.Platform {
+	opt.Trace = s.cfg.Trace
+	return exec.NewWithOptions(kind, env, threads, opt)
+}
+
+// Observe publishes a finished platform's component counters into the
+// session's metrics registry. No-op when metrics are disabled.
+func (s *Session) Observe(p exec.Platform) {
+	if s.cfg.Metrics.Enabled() {
+		if ms, ok := p.(exec.MetricsSource); ok {
+			ms.CollectMetrics(s.cfg.Metrics)
+		}
+	}
+}
+
 // Replay plays a run's full GC log on a fresh platform of the given kind,
 // returning per-event results.
 func (s *Session) Replay(r *Run, kind exec.Kind, threads int) []exec.Result {
-	p := exec.New(kind, r.Env, threads)
+	p := s.NewPlatform(kind, r.Env, threads, exec.Options{})
 	out := make([]exec.Result, 0, len(r.Col.Log))
 	for _, ev := range r.Col.Log {
 		out = append(out, p.Replay(ev, threads))
 	}
+	s.Observe(p)
 	return out
 }
 
@@ -230,7 +258,7 @@ func (s *Session) replayTotals(name string, kind exec.Kind, threads int) (Totals
 }
 
 // geomeanOf extracts a geomean across workloads from a per-workload map.
-func geomeanOf(names []string, m map[string]float64) float64 {
+func geomeanOf(names []string, m map[string]float64) (float64, error) {
 	var xs []float64
 	for _, n := range names {
 		if v, ok := m[n]; ok {

@@ -16,8 +16,11 @@
 package hmc
 
 import (
+	"fmt"
+
 	"charonsim/internal/dram"
 	"charonsim/internal/memsys"
+	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
 )
 
@@ -113,6 +116,30 @@ func (l *Link) TransferAt(start sim.Time, dir int, n uint32) sim.Time {
 // Busy returns accumulated serialization occupancy per direction.
 func (l *Link) Busy(dir int) sim.Time { return l.lane[dir].Busy }
 
+// Utilization returns the fraction of [0, horizon) the given direction's
+// lane was serializing; always in [0, 1].
+func (l *Link) Utilization(dir int, horizon sim.Time) float64 {
+	return l.lane[dir].Utilization(horizon)
+}
+
+// Collect publishes per-direction bytes and occupancy under prefix
+// (down = toward memory, up = toward host). A positive horizon
+// additionally publishes utilization gauges. No-op when reg is disabled.
+func (l *Link) Collect(reg *metrics.Registry, prefix string, horizon sim.Time) {
+	if !reg.Enabled() {
+		return
+	}
+	// Stats.Record files DirDown packets as writes and DirUp as reads.
+	reg.AddUint(prefix+"/down_bytes", l.Stats.WriteBytes)
+	reg.AddUint(prefix+"/up_bytes", l.Stats.ReadBytes)
+	reg.AddUint(prefix+"/down_busy_ps", uint64(l.lane[DirDown].Busy))
+	reg.AddUint(prefix+"/up_busy_ps", uint64(l.lane[DirUp].Busy))
+	if horizon > 0 {
+		reg.SetMax(prefix+"/down_util", l.lane[DirDown].Utilization(horizon))
+		reg.SetMax(prefix+"/up_util", l.lane[DirUp].Utilization(horizon))
+	}
+}
+
 // Cube is one HMC stack: 32 vault controllers behind the logic layer.
 type Cube struct {
 	ID     int
@@ -150,6 +177,38 @@ func (c *Cube) AccessAt(start sim.Time, kind memsys.Kind, addr uint64, size uint
 
 // Vaults exposes the vault controllers (for stats and tests).
 func (c *Cube) Vaults() []*dram.Controller { return c.vaults }
+
+// Collect publishes this cube's TSV traffic, aggregate row-buffer
+// outcomes, and per-vault bytes under prefix. No-op when reg is disabled.
+func (c *Cube) Collect(reg *metrics.Registry, prefix string, horizon sim.Time) {
+	if !reg.Enabled() {
+		return
+	}
+	reg.AddUint(prefix+"/tsv_reads", c.TSVStats.Reads)
+	reg.AddUint(prefix+"/tsv_writes", c.TSVStats.Writes)
+	reg.AddUint(prefix+"/tsv_read_bytes", c.TSVStats.ReadBytes)
+	reg.AddUint(prefix+"/tsv_write_bytes", c.TSVStats.WriteBytes)
+	var hits, opens, conflicts uint64
+	for v, ctl := range c.vaults {
+		h, o, cf := ctl.RowStats()
+		hits += h
+		opens += o
+		conflicts += cf
+		if ctl.Stats.Reads == 0 && ctl.Stats.Writes == 0 {
+			continue
+		}
+		p := fmt.Sprintf("%s/vault%d", prefix, v)
+		reg.AddUint(p+"/read_bytes", ctl.Stats.ReadBytes)
+		reg.AddUint(p+"/write_bytes", ctl.Stats.WriteBytes)
+		reg.AddUint(p+"/bus_busy_ps", uint64(ctl.BusBusy()))
+		if horizon > 0 {
+			reg.SetMax(p+"/bus_util", ctl.BusUtilization(horizon))
+		}
+	}
+	reg.AddUint(prefix+"/row_hits", hits)
+	reg.AddUint(prefix+"/row_opens", opens)
+	reg.AddUint(prefix+"/row_conflicts", conflicts)
+}
 
 // System is the full four-cube network. In the star topology cube 0 is
 // the centre attached to the host with cubes 1..3 hanging off it; in the
@@ -329,6 +388,24 @@ func (s *System) TSVStats() memsys.Stats {
 		st.Add(c.TSVStats)
 	}
 	return st
+}
+
+// Collect publishes the whole system's counters under prefix (e.g.
+// "hmc"): host link, inter-cube links, every cube, and the near-memory
+// locality split. No-op when reg is disabled.
+func (s *System) Collect(reg *metrics.Registry, prefix string, horizon sim.Time) {
+	if !reg.Enabled() {
+		return
+	}
+	s.hostLink.Collect(reg, prefix+"/hostlink", horizon)
+	for i := 1; i < len(s.cubeLinks); i++ {
+		s.cubeLinks[i].Collect(reg, fmt.Sprintf("%s/link%d", prefix, i), horizon)
+	}
+	for i, c := range s.cubes {
+		c.Collect(reg, fmt.Sprintf("%s/cube%d", prefix, i), horizon)
+	}
+	reg.AddUint(prefix+"/local_accesses", s.LocalAccesses)
+	reg.AddUint(prefix+"/remote_accesses", s.RemoteAccesses)
 }
 
 // VaultStats sums vault-level traffic over all cubes.

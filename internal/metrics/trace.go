@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"charonsim/internal/sim"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format ("X" complete
+// events and "M" metadata events are the only phases emitted). Timestamps
+// and durations are microseconds, per the format; the simulator's
+// picosecond clock divides down without losing the ordering the viewer
+// renders.
+//
+// Format reference: the chrome://tracing / Perfetto "Trace Event Format"
+// JSON array form: {"traceEvents": [...]}.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// Recorder collects trace events for a single instrumented run. A nil
+// *Recorder is the disabled state: every method short-circuits, so
+// components call it unconditionally. The recorder caps the event count
+// (a full suite run emits millions of spans; the viewer wants thousands)
+// and reports how many were dropped in the trace metadata.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []TraceEvent
+	limit   int
+	dropped uint64
+
+	procs map[int]string
+	thrds map[[2]int]string
+}
+
+// DefaultTraceLimit bounds a recorder's retained events: enough for every
+// offload of a typical single-workload run while keeping the JSON loadable.
+const DefaultTraceLimit = 500000
+
+// NewRecorder returns an enabled recorder retaining at most limit events
+// (limit <= 0 selects DefaultTraceLimit).
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultTraceLimit
+	}
+	return &Recorder{limit: limit, procs: map[int]string{}, thrds: map[[2]int]string{}}
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// usec converts a simulated instant to trace microseconds.
+func usec(t sim.Time) float64 { return float64(t) / 1e6 }
+
+// Span records a complete event covering [start, end] on (pid, tid).
+func (r *Recorder) Span(name, cat string, pid, tid int, start, end sim.Time) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	r.mu.Lock()
+	if len(r.events) >= r.limit {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
+	r.events = append(r.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts: usec(start), Dur: usec(end - start), Pid: pid, Tid: tid,
+	})
+	r.mu.Unlock()
+}
+
+// NameProcess labels a pid lane in the viewer (emitted as "M" metadata).
+func (r *Recorder) NameProcess(pid int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.procs[pid] = name
+	r.mu.Unlock()
+}
+
+// NameThread labels a (pid, tid) lane.
+func (r *Recorder) NameThread(pid, tid int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.thrds[[2]int{pid, tid}] = name
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns the number of events discarded over the limit.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// traceFile is the on-disk object form of the Chrome trace-event format.
+type traceFile struct {
+	TraceEvents     []TraceEvent           `json:"traceEvents"`
+	DisplayTimeUnit string                 `json:"displayTimeUnit"`
+	OtherData       map[string]interface{} `json:"otherData,omitempty"`
+}
+
+// WriteJSON writes the collected trace as chrome://tracing-loadable JSON.
+// Metadata events for process/thread names precede the spans; spans are
+// sorted by (ts, pid, tid, dur, name) so the file does not depend on the
+// goroutine interleaving of a parallel harness run (simulated timestamps
+// are deterministic; only emission order varies).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	var f traceFile
+	f.DisplayTimeUnit = "ns"
+	if r != nil {
+		r.mu.Lock()
+		pids := make([]int, 0, len(r.procs))
+		for pid := range r.procs {
+			pids = append(pids, pid)
+		}
+		sort.Ints(pids)
+		for _, pid := range pids {
+			f.TraceEvents = append(f.TraceEvents, TraceEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]interface{}{"name": r.procs[pid]},
+			})
+		}
+		keys := make([][2]int, 0, len(r.thrds))
+		for k := range r.thrds {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i][0] != keys[j][0] {
+				return keys[i][0] < keys[j][0]
+			}
+			return keys[i][1] < keys[j][1]
+		})
+		for _, k := range keys {
+			f.TraceEvents = append(f.TraceEvents, TraceEvent{
+				Name: "thread_name", Ph: "M", Pid: k[0], Tid: k[1],
+				Args: map[string]interface{}{"name": r.thrds[k]},
+			})
+		}
+		spans := make([]TraceEvent, len(r.events))
+		copy(spans, r.events)
+		sort.SliceStable(spans, func(i, j int) bool {
+			a, b := &spans[i], &spans[j]
+			if a.Ts != b.Ts {
+				return a.Ts < b.Ts
+			}
+			if a.Pid != b.Pid {
+				return a.Pid < b.Pid
+			}
+			if a.Tid != b.Tid {
+				return a.Tid < b.Tid
+			}
+			if a.Dur != b.Dur {
+				return a.Dur < b.Dur
+			}
+			return a.Name < b.Name
+		})
+		f.TraceEvents = append(f.TraceEvents, spans...)
+		if r.dropped > 0 {
+			f.OtherData = map[string]interface{}{"droppedEvents": r.dropped}
+		}
+		r.mu.Unlock()
+	}
+	if f.TraceEvents == nil {
+		f.TraceEvents = []TraceEvent{}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

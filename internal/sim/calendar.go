@@ -15,10 +15,24 @@ package sim
 // total capacity exactly.
 type Calendar struct {
 	width Time
-	used  map[int64]Time
+	used  map[int64]bucket
 
-	// Busy accumulates total reserved time (utilization accounting).
+	// Busy accumulates total reserved time (utilization accounting). It
+	// counts whole reservations at reservation time; for time-windowed
+	// accounting use BusyWithin, which attributes a reservation to the
+	// buckets it actually occupies.
 	Busy Time
+}
+
+// bucket is one time slice's occupancy state.
+type bucket struct {
+	// highWater is the placement cursor from the bucket start: the next
+	// reservation in this bucket starts no earlier than start+highWater.
+	// It may exceed the busy time when a reservation started mid-bucket
+	// (the skipped idle gap is unusable but not busy).
+	highWater Time
+	// busy is the reserved (occupied) time within the bucket, <= width.
+	busy Time
 }
 
 // NewCalendar creates a calendar with the given bucket width. Widths
@@ -28,7 +42,7 @@ func NewCalendar(width Time) *Calendar {
 	if width == 0 {
 		panic("sim: zero calendar width")
 	}
-	return &Calendar{width: width, used: make(map[int64]Time)}
+	return &Calendar{width: width, used: make(map[int64]bucket)}
 }
 
 // Reserve books dur of occupancy starting no earlier than at, returning
@@ -43,14 +57,14 @@ func (c *Calendar) Reserve(at Time, dur Time) Time {
 	var end Time
 	for remaining > 0 {
 		bucketStart := Time(b) * c.width
-		used := c.used[b]
+		bk := c.used[b]
 		// Position within the bucket: after existing occupancy, and not
 		// before the requested time for the first chunk.
-		pos := bucketStart + used
+		pos := bucketStart + bk.highWater
 		if pos < at {
 			// Idle gap before `at`: the reservation starts at `at`, and the
 			// intervening idle time remains (approximately) available; we
-			// account occupancy from `at` to bucket end.
+			// advance the placement cursor from `at` to bucket end.
 			pos = at
 		}
 		avail := bucketStart + c.width - pos
@@ -62,7 +76,9 @@ func (c *Calendar) Reserve(at Time, dur Time) Time {
 		if take > avail {
 			take = avail
 		}
-		c.used[b] += (pos + take) - (bucketStart + used)
+		bk.highWater = (pos + take) - bucketStart
+		bk.busy += take
+		c.used[b] = bk
 		end = pos + take
 		remaining -= take
 		at = end
@@ -71,10 +87,46 @@ func (c *Calendar) Reserve(at Time, dur Time) Time {
 	return end
 }
 
-// Utilization returns the fraction of [0, horizon] reserved.
+// BusyWithin returns the reserved time that falls inside [0, horizon),
+// computed from per-bucket occupancy. Unlike the raw Busy total, a
+// reservation spilling past the horizon contributes only its in-horizon
+// portion, so BusyWithin(h) <= h always holds.
+func (c *Calendar) BusyWithin(horizon Time) Time {
+	if horizon == 0 {
+		return 0
+	}
+	lastBucket := int64((horizon - 1) / c.width)
+	var t Time
+	for b, bk := range c.used {
+		switch {
+		case b < lastBucket:
+			t += bk.busy
+		case b == lastBucket:
+			// Bucket straddling the horizon: occupancy within a bucket is
+			// not positioned, so cap the contribution at the in-horizon
+			// width (error bounded by one bucket width).
+			in := horizon - Time(b)*c.width
+			if bk.busy < in {
+				t += bk.busy
+			} else {
+				t += in
+			}
+		}
+	}
+	if t > horizon {
+		t = horizon
+	}
+	return t
+}
+
+// Utilization returns the fraction of [0, horizon) reserved, always in
+// [0, 1]. It is computed from bucket occupancy within the horizon, not the
+// raw Busy total: a reservation that spills past the measurement horizon
+// (common at end-of-run) contributes only its in-horizon portion, where
+// the old Busy/horizon ratio could exceed 1.
 func (c *Calendar) Utilization(horizon Time) float64 {
 	if horizon == 0 {
 		return 0
 	}
-	return float64(c.Busy) / float64(horizon)
+	return float64(c.BusyWithin(horizon)) / float64(horizon)
 }

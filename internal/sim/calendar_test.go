@@ -111,3 +111,72 @@ func TestCalendarUtilization(t *testing.T) {
 		t.Fatal("zero horizon")
 	}
 }
+
+func TestCalendarUtilizationClampedAtHorizon(t *testing.T) {
+	// Regression: Busy accrues the full reservation duration even when it
+	// spills past the measurement horizon, so the old Busy/horizon ratio
+	// exceeded 1.0 near end-of-run. Utilization must be computed from
+	// bucket occupancy within the horizon instead.
+	c := NewCalendar(100)
+	c.Reserve(0, 500) // occupies [0, 500): five full buckets
+	if c.Busy != 500 {
+		t.Fatalf("Busy = %d", c.Busy)
+	}
+	// Horizon at 100: only one bucket's worth of the reservation is inside.
+	if u := c.Utilization(100); u != 1.0 {
+		t.Fatalf("utilization(100) = %v, want exactly 1", u)
+	}
+	// The pre-fix behaviour returned Busy/horizon = 5.0 here.
+	for _, h := range []Time{1, 50, 100, 250, 499, 500, 501, 1000} {
+		if u := c.Utilization(h); u < 0 || u > 1 {
+			t.Fatalf("utilization(%d) = %v out of [0,1]", h, u)
+		}
+	}
+}
+
+func TestCalendarReserveAcrossHorizonBoundary(t *testing.T) {
+	// A reservation straddling the horizon contributes only its in-horizon
+	// portion.
+	c := NewCalendar(100)
+	end := c.Reserve(950, 500) // occupies [950, 1450)
+	if end != 1450 {
+		t.Fatalf("end %d", end)
+	}
+	if got := c.BusyWithin(1000); got != 50 {
+		t.Fatalf("BusyWithin(1000) = %d, want 50", got)
+	}
+	if u := c.Utilization(1000); u != 0.05 {
+		t.Fatalf("utilization %v, want 0.05", u)
+	}
+	// Past the reservation's end the whole duration is visible again.
+	if got := c.BusyWithin(2000); got != 500 {
+		t.Fatalf("BusyWithin(2000) = %d, want 500", got)
+	}
+}
+
+func TestCalendarBusyWithinNeverExceedsHorizon(t *testing.T) {
+	// Property: BusyWithin(h) <= h and is monotonic in h, for arbitrary
+	// reservation patterns (including ones spilling far past the horizon).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewCalendar(Time(1 + rng.Intn(200)))
+		for i := 0; i < 100; i++ {
+			c.Reserve(Time(rng.Intn(3000)), Time(rng.Intn(500)))
+		}
+		var prev Time
+		for _, h := range []Time{1, 10, 100, 500, 1000, 2500, 5000, 100000} {
+			got := c.BusyWithin(h)
+			if got > h || got < prev {
+				return false
+			}
+			if u := c.Utilization(h); u < 0 || u > 1 {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

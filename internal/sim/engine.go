@@ -61,10 +61,11 @@ func (q *eventQueue) Pop() interface{} {
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	nsteps uint64
+	now      Time
+	seq      uint64
+	queue    eventQueue
+	nsteps   uint64
+	maxQueue int
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -80,6 +81,9 @@ func (e *Engine) Steps() uint64 { return e.nsteps }
 func (e *Engine) Schedule(delay Time, fn func()) {
 	e.seq++
 	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	if len(e.queue) > e.maxQueue {
+		e.maxQueue = len(e.queue)
+	}
 }
 
 // At runs fn at absolute time t. If t is in the past it runs at Now.
@@ -89,10 +93,19 @@ func (e *Engine) At(t Time, fn func()) {
 	}
 	e.seq++
 	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	if len(e.queue) > e.maxQueue {
+		e.maxQueue = len(e.queue)
+	}
 }
 
 // Pending reports whether any events remain.
 func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+
+// QueueDepth returns the current number of queued events.
+func (e *Engine) QueueDepth() int { return len(e.queue) }
+
+// MaxQueueDepth returns the high-water event-queue depth.
+func (e *Engine) MaxQueueDepth() int { return e.maxQueue }
 
 // Step executes the next event and returns false when the queue is empty.
 func (e *Engine) Step() bool {

@@ -11,20 +11,33 @@ import (
 	"strings"
 )
 
-// Geomean returns the geometric mean of xs (0 for empty input; panics on
-// non-positive values, which indicate an upstream bug).
-func Geomean(xs []float64) float64 {
+// Geomean returns the geometric mean of xs (0 for empty input). A
+// non-positive value — a degenerate configuration upstream, e.g. a zero-GC
+// workload producing a zero speedup — yields an error naming the offending
+// value instead of panicking, so one bad cell fails its experiment rather
+// than crashing the whole harness.
+func Geomean(xs []float64) (float64, error) {
 	if len(xs) == 0 {
-		return 0
+		return 0, nil
 	}
 	var sum float64
-	for _, x := range xs {
-		if x <= 0 {
-			panic(fmt.Sprintf("stats: geomean of non-positive value %v", x))
+	for i, x := range xs {
+		if x <= 0 || math.IsNaN(x) {
+			return 0, fmt.Errorf("stats: geomean of non-positive value %v at index %d", x, i)
 		}
 		sum += math.Log(x)
 	}
-	return math.Exp(sum / float64(len(xs)))
+	return math.Exp(sum / float64(len(xs))), nil
+}
+
+// MustGeomean is Geomean for inputs the caller has already validated as
+// strictly positive; it panics on a non-positive value.
+func MustGeomean(xs []float64) float64 {
+	g, err := Geomean(xs)
+	if err != nil {
+		panic(err.Error())
+	}
+	return g
 }
 
 // Mean returns the arithmetic mean (0 for empty input).

@@ -8,18 +8,50 @@ import (
 )
 
 func TestGeomean(t *testing.T) {
-	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
-		t.Fatalf("geomean = %v, want 4", g)
+	tests := []struct {
+		name    string
+		xs      []float64
+		want    float64
+		wantErr bool
+	}{
+		{"two values", []float64{2, 8}, 4, false},
+		{"single value", []float64{3.5}, 3.5, false},
+		{"empty", nil, 0, false},
+		{"identity", []float64{1, 1, 1}, 1, false},
+		// The degenerate cases that used to crash the whole harness: a
+		// zero-GC workload yields a zero speedup cell.
+		{"zero value", []float64{1, 0}, 0, true},
+		{"negative value", []float64{2, -3}, 0, true},
+		{"NaN", []float64{2, math.NaN()}, 0, true},
 	}
-	if Geomean(nil) != 0 {
-		t.Fatal("empty geomean")
+	for _, tc := range tests {
+		g, err := Geomean(tc.xs)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error, got %v", tc.name, g)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if math.Abs(g-tc.want) > 1e-12 {
+			t.Errorf("%s: geomean = %v, want %v", tc.name, g, tc.want)
+		}
+	}
+}
+
+func TestMustGeomean(t *testing.T) {
+	if g := MustGeomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %v, want 4", g)
 	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("geomean of zero should panic")
+			t.Fatal("MustGeomean of zero should panic")
 		}
 	}()
-	Geomean([]float64{1, 0})
+	MustGeomean([]float64{1, 0})
 }
 
 func TestGeomeanBetweenMinMaxProperty(t *testing.T) {
@@ -31,7 +63,10 @@ func TestGeomeanBetweenMinMaxProperty(t *testing.T) {
 		if len(xs) == 0 {
 			return true
 		}
-		g := Geomean(xs)
+		g, err := Geomean(xs)
+		if err != nil {
+			return false
+		}
 		lo, hi := xs[0], xs[0]
 		for _, x := range xs {
 			lo = math.Min(lo, x)
