@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test short race golden bench parbench audit ci
+.PHONY: build vet test short race golden bench parbench audit faults lint ci
 
 build:
 	$(GO) build ./...
@@ -43,4 +43,21 @@ audit:
 parbench:
 	$(GO) test -bench=BenchmarkSuiteSerialVsParallel -benchtime=1x -timeout 60m
 
-ci: vet build test race audit
+# Fault-injection smoke: race-checked fault/degradation tests across every
+# layer, then a real fault-sweep run that exports its metrics snapshot
+# (CI uploads fault-metrics.json as a build artifact).
+faults:
+	$(GO) test -race -timeout 30m -run 'Fault|Failover|AllUnitsFailed|Degrad|Retry|BankRemap|Watchdog|Deadline' \
+		./internal/fault ./internal/memsys ./internal/dram ./internal/hmc ./internal/charon ./internal/exec ./internal/experiments
+	$(GO) run ./cmd/charonsim -exp faults -workloads BS -fault-seed 42 -fault-rate 0.01 -metrics fault-metrics.json
+
+# Static analysis beyond vet. staticcheck is optional locally (the target
+# skips with a notice when the binary is absent); CI installs it.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
+	fi
+
+ci: lint build test race audit faults

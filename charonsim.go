@@ -40,6 +40,7 @@ import (
 	"charonsim/internal/energy"
 	"charonsim/internal/exec"
 	"charonsim/internal/experiments"
+	"charonsim/internal/fault"
 	"charonsim/internal/gc"
 	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
@@ -70,21 +71,54 @@ type Config struct {
 	// byte-identical at every Parallelism setting.
 	MetricsPath string
 	// TracePath, when non-empty, writes a chrome://tracing-loadable JSON
-	// event trace (GC pauses, cache flushes, per-unit Charon offloads).
-	// Requires MetricsPath: the trace's companion counters (span totals,
-	// drop counts) land in the metrics snapshot.
+	// event trace (GC pauses, cache flushes, per-unit Charon offloads,
+	// fault spans like "deadline-fallback"). Requires MetricsPath: the
+	// trace's companion counters (span totals, drop counts) land in the
+	// metrics snapshot. The trace format is JSON only — the path must not
+	// carry a ".csv" extension.
 	TracePath string
+	// FaultRate is the master fault-injection rate in [0, 1): link CRC
+	// errors at this per-packet probability, plus derived DRAM ECC, hard
+	// bank fault, and Charon-unit failure/degradation rates (see
+	// internal/fault for the derivations). Zero (the default) disables
+	// injection entirely and keeps every report byte-identical to a
+	// fault-free build.
+	FaultRate float64
+	// FaultSeed selects the deterministic fault pattern; the same seed and
+	// Parallelism-independent draw order make faulted reports reproducible.
+	// Setting a seed without a nonzero FaultRate (or OffloadDeadline) is a
+	// configuration error — there would be no faults to seed.
+	FaultSeed int64
+	// OffloadDeadline arms the Charon offload watchdog: an offload whose
+	// completion exceeds issue+deadline is abandoned and re-executed on the
+	// host cores, counted as a degradation event. Zero disables it.
+	OffloadDeadline time.Duration
+	// RunTimeout, when positive, bounds each simulation unit's wall-clock
+	// time in the harness worker pool; a run exceeding it fails with a
+	// timeout error instead of hanging the whole sweep.
+	RunTimeout time.Duration
 }
 
 func (c Config) toInternal() experiments.Config {
 	return experiments.Config{Threads: c.Threads, Factor: c.HeapFactor,
-		Workloads: c.Workloads, Parallelism: c.Parallelism}
+		Workloads: c.Workloads, Parallelism: c.Parallelism,
+		Fault:      c.faultConfig(),
+		RunTimeout: c.RunTimeout}
+}
+
+// faultConfig maps the public fault knobs onto the injector configuration.
+func (c Config) faultConfig() fault.Config {
+	return fault.Config{Rate: c.FaultRate, Seed: c.FaultSeed,
+		OffloadDeadline: sim.Time(c.OffloadDeadline.Nanoseconds()) * sim.Nanosecond}
 }
 
 // Validate rejects configurations that withDefaults would otherwise paper
 // over: negative thread counts, non-finite or negative heap factors,
 // parallelism below the documented -1 serial sentinel, unknown workload
-// names, and a trace request without a metrics snapshot to accompany it.
+// names, out-of-range fault rates, a fault seed with no fault to apply it
+// to, negative deadlines/timeouts, a trace request without a metrics
+// snapshot to accompany it, and a trace path with a ".csv" extension (the
+// trace format is JSON only).
 func (c Config) Validate() error {
 	if c.Threads < 0 {
 		return fmt.Errorf("charonsim: Threads must be >= 0 (0 selects the default), got %d", c.Threads)
@@ -106,6 +140,26 @@ func (c Config) Validate() error {
 	}
 	if c.TracePath != "" && c.MetricsPath == "" {
 		return fmt.Errorf("charonsim: TracePath requires MetricsPath (the trace's summary counters are part of the metrics snapshot)")
+	}
+	if strings.HasSuffix(strings.ToLower(c.TracePath), ".csv") {
+		return fmt.Errorf("charonsim: TracePath %q has a .csv extension but the event trace is JSON only (CSV is a MetricsPath format)", c.TracePath)
+	}
+	if c.FaultRate < 0 || c.FaultRate >= 1 || math.IsNaN(c.FaultRate) {
+		return fmt.Errorf("charonsim: FaultRate must be in [0, 1), got %v", c.FaultRate)
+	}
+	if c.FaultSeed < 0 {
+		return fmt.Errorf("charonsim: FaultSeed must be >= 0, got %d", c.FaultSeed)
+	}
+	if c.OffloadDeadline < 0 {
+		return fmt.Errorf("charonsim: OffloadDeadline must be >= 0 (0 disables the watchdog), got %v", c.OffloadDeadline)
+	}
+	if c.RunTimeout < 0 {
+		return fmt.Errorf("charonsim: RunTimeout must be >= 0 (0 disables the budget), got %v", c.RunTimeout)
+	}
+	if err := c.faultConfig().Validate(); err != nil {
+		// The injector's own checks catch what the public knobs can still
+		// misconfigure in combination — notably a seed with nothing to seed.
+		return fmt.Errorf("charonsim: %w", err)
 	}
 	return nil
 }
@@ -341,6 +395,13 @@ var experimentTable = map[string]experimentEntry{
 	}},
 	"thermal": {"Power and thermal analysis", func(s *experiments.Session) (string, error) {
 		r, err := experiments.Thermal(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	}},
+	"faults": {"Fault sweep: GC time under injected faults, healthy to all-units-failed", func(s *experiments.Session) (string, error) {
+		r, err := experiments.FigFaultSweep(s)
 		if err != nil {
 			return "", err
 		}

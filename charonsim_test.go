@@ -7,13 +7,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"charonsim/internal/exec"
 )
 
 func TestExperimentsListed(t *testing.T) {
 	ids := Experiments()
-	want := []string{"ablations", "collectors", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+	want := []string{"ablations", "collectors", "faults", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"fig2", "fig4a", "fig4b", "table1", "table2", "table3", "table4", "thermal"}
 	if len(ids) != len(want) {
 		t.Fatalf("experiments = %v", ids)
@@ -249,6 +250,19 @@ func TestConfigValidate(t *testing.T) {
 		{"trace without metrics", Config{TracePath: "t.json"}, "MetricsPath"},
 		{"trace with metrics", Config{MetricsPath: "m.json", TracePath: "t.json"}, ""},
 		{"metrics alone", Config{MetricsPath: "m.csv"}, ""},
+		{"trace csv extension", Config{MetricsPath: "m.json", TracePath: "t.csv"}, "JSON only"},
+		{"trace csv uppercase", Config{MetricsPath: "m.json", TracePath: "t.CSV"}, "JSON only"},
+		{"negative fault rate", Config{FaultRate: -0.1}, "FaultRate"},
+		{"fault rate one", Config{FaultRate: 1.0}, "FaultRate"},
+		{"NaN fault rate", Config{FaultRate: math.NaN()}, "FaultRate"},
+		{"negative fault seed", Config{FaultSeed: -1}, "FaultSeed"},
+		{"seed without faults", Config{FaultSeed: 7}, "zero"},
+		{"seed with rate", Config{FaultRate: 0.01, FaultSeed: 7}, ""},
+		{"seed with deadline", Config{FaultSeed: 7, OffloadDeadline: time.Microsecond}, ""},
+		{"valid fault rate", Config{FaultRate: 0.05}, ""},
+		{"negative offload deadline", Config{OffloadDeadline: -time.Millisecond}, "OffloadDeadline"},
+		{"negative run timeout", Config{RunTimeout: -time.Second}, "RunTimeout"},
+		{"run timeout alone", Config{RunTimeout: time.Minute}, ""},
 	}
 	for _, tc := range tests {
 		err := tc.cfg.Validate()

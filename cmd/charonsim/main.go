@@ -8,6 +8,7 @@
 //	charonsim -exp fig14 -workloads BS,ALS
 //	charonsim -exp all -threads 8 -factor 1.5
 //	charonsim -exp all -parallel 8      # fan simulations out over 8 workers
+//	charonsim -exp faults -fault-rate 0.01 -fault-seed 7
 //	charonsim -list
 //
 // Output is byte-identical at every -parallel setting; only the wall
@@ -33,7 +34,11 @@ func main() {
 		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, -1 = serial); output is identical at any setting")
 		list        = flag.Bool("list", false, "list experiments and workloads, then exit")
 		metricsPath = flag.String("metrics", "", "write a component-counter snapshot here after the run (.csv = CSV, otherwise JSON)")
-		tracePath   = flag.String("trace", "", "write a chrome://tracing JSON event trace here (requires -metrics)")
+		tracePath   = flag.String("trace", "", "write a chrome://tracing JSON event trace here (JSON only; requires -metrics)")
+		faultRate   = flag.Float64("fault-rate", 0, "master fault-injection rate in [0, 1): link CRC errors plus derived ECC/bank/unit fault rates (0 = faults off)")
+		faultSeed   = flag.Int64("fault-seed", 0, "deterministic fault pattern seed (requires a nonzero -fault-rate or -offload-deadline)")
+		deadline    = flag.Duration("offload-deadline", 0, "Charon offload watchdog: offloads exceeding this re-run on the host cores (0 = off)")
+		runTimeout  = flag.Duration("run-timeout", 0, "wall-clock budget per simulation run in the worker pool (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -51,7 +56,9 @@ func main() {
 	}
 
 	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor, Parallelism: *parallel,
-		MetricsPath: *metricsPath, TracePath: *tracePath}
+		MetricsPath: *metricsPath, TracePath: *tracePath,
+		FaultRate: *faultRate, FaultSeed: *faultSeed,
+		OffloadDeadline: *deadline, RunTimeout: *runTimeout}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}

@@ -23,6 +23,7 @@ package charon
 
 import (
 	"charonsim/internal/cache"
+	"charonsim/internal/fault"
 	"charonsim/internal/hmc"
 	"charonsim/internal/memsys"
 	"charonsim/internal/metrics"
@@ -101,6 +102,10 @@ type Stats struct {
 	TLBRemote      uint64
 	TLBWalks       uint64
 
+	// Reissues counts offloads served away from their home cube because
+	// the home pool was wholly failed (cross-cube failover).
+	Reissues uint64
+
 	// Mem counts the memory requests the units issued (every memAccess
 	// call: streams, header loads, bitmap fills, writebacks, flushes).
 	// This is the accelerator's requester side of the byte-conservation
@@ -116,11 +121,17 @@ const (
 	KBitmapCount
 )
 
-// unit is one processing unit's reservation state.
+// unit is one processing unit's reservation state. Health is fixed at
+// construction: a failed unit never serves (defective or fenced off); a
+// degraded unit serves every offload slower by the configured factor
+// (thermal throttling on the logic layer).
 type unit struct {
 	freeAt sim.Time
 	busy   sim.Time
 	reqs   uint64 // offloads serviced by this unit
+
+	failed   bool
+	degraded bool
 }
 
 // mai is a cube's Memory Access Interface: a bounded request buffer that
@@ -178,13 +189,26 @@ type Accelerator struct {
 	// recording (all Recorder methods are nil-safe).
 	rec *metrics.Recorder
 
+	// degradeFactor stretches the service span of degraded units (1.0
+	// with faults off — arithmetic identity, not just approximately).
+	degradeFactor float64
+
 	Stats Stats
 }
 
 // New builds an accelerator over sys.
 func New(cfg Config, sys *hmc.System) *Accelerator {
+	return NewFault(cfg, sys, nil)
+}
+
+// NewFault is New with fault injection: per-unit failed/degraded health is
+// drawn once here from the "charon/units" stream, in fixed pool order
+// (copy/search by cube, bitmap-count by cube, then scan&push), so the
+// health map is a pure function of the fault seed. FailAllUnits overrides
+// the draws and fences off every unit. A nil injector is exactly New.
+func NewFault(cfg Config, sys *hmc.System, inj *fault.Injector) *Accelerator {
 	ncubes := sys.Mapper().Cubes
-	a := &Accelerator{cfg: cfg, sys: sys}
+	a := &Accelerator{cfg: cfg, sys: sys, degradeFactor: 1}
 	for c := 0; c < ncubes; c++ {
 		a.copySearch = append(a.copySearch, make([]unit, cfg.CopySearchPerCube))
 		a.bitmapCount = append(a.bitmapCount, make([]unit, cfg.BitmapCountPerCube))
@@ -212,6 +236,34 @@ func New(cfg Config, sys *hmc.System) *Accelerator {
 		a.bmCaches = append(a.bmCaches, cache.New(bmCfg))
 		a.bmCachePort = append(a.bmCachePort, sim.NewCalendar(50*sim.Nanosecond))
 	}
+	if inj != nil {
+		fc := inj.Config()
+		a.degradeFactor = fc.DegradeFactor
+		src := inj.Source("charon/units")
+		seed := func(u *unit) {
+			switch {
+			case fc.FailAllUnits:
+				u.failed = true
+			case src.Hit(fc.UnitFailRate):
+				u.failed = true
+			default:
+				u.degraded = src.Hit(fc.UnitDegradeRate)
+			}
+		}
+		for c := range a.copySearch {
+			for i := range a.copySearch[c] {
+				seed(&a.copySearch[c][i])
+			}
+		}
+		for c := range a.bitmapCount {
+			for i := range a.bitmapCount[c] {
+				seed(&a.bitmapCount[c][i])
+			}
+		}
+		for i := range a.scanPush {
+			seed(&a.scanPush[i])
+		}
+	}
 	return a
 }
 
@@ -229,15 +281,117 @@ func (a *Accelerator) grain() uint64 {
 // System returns the underlying HMC system.
 func (a *Accelerator) System() *hmc.System { return a.sys }
 
-// pickUnit returns the index of the earliest-free unit.
-func pickUnit(us []unit) int {
-	best := 0
-	for i := 1; i < len(us); i++ {
-		if us[i].freeAt < us[best].freeAt {
+// pickHealthy returns the index of the earliest-free non-failed unit, or
+// -1 when the whole pool is failed. With every unit healthy this is the
+// classic earliest-free pick (first index wins ties), so a fault-free
+// accelerator schedules identically to one built without an injector.
+func pickHealthy(us []unit) int {
+	best := -1
+	for i := range us {
+		if us[i].failed {
+			continue
+		}
+		if best < 0 || us[i].freeAt < us[best].freeAt {
 			best = i
 		}
 	}
 	return best
+}
+
+// pickCopySearch selects the serving (cube, unit) for a Copy/Search
+// primitive homed on `home`, failing over to the nearest cube (in index
+// order) whose pool still has a live unit when the home pool is wholly
+// failed. Returns (-1, -1) when no Copy/Search unit is healthy anywhere —
+// callers must guard with CanCopySearch.
+func (a *Accelerator) pickCopySearch(home int) (int, int) {
+	for d := 0; d < len(a.copySearch); d++ {
+		c := (home + d) % len(a.copySearch)
+		if u := pickHealthy(a.copySearch[c]); u >= 0 {
+			if d != 0 {
+				a.Stats.Reissues++
+			}
+			return c, u
+		}
+	}
+	return -1, -1
+}
+
+// pickBitmapCount is pickCopySearch for the Bitmap Count pools.
+func (a *Accelerator) pickBitmapCount(home int) (int, int) {
+	for d := 0; d < len(a.bitmapCount); d++ {
+		c := (home + d) % len(a.bitmapCount)
+		if u := pickHealthy(a.bitmapCount[c]); u >= 0 {
+			if d != 0 {
+				a.Stats.Reissues++
+			}
+			return c, u
+		}
+	}
+	return -1, -1
+}
+
+// CanCopySearch reports whether any Copy/Search unit on any cube is
+// healthy (offloadable COPY and SEARCH primitives can still be served).
+func (a *Accelerator) CanCopySearch() bool {
+	for _, p := range a.copySearch {
+		if pickHealthy(p) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CanBitmapCount reports whether any Bitmap Count unit is healthy.
+func (a *Accelerator) CanBitmapCount() bool {
+	for _, p := range a.bitmapCount {
+		if pickHealthy(p) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CanScanPush reports whether any Scan&Push unit is healthy.
+func (a *Accelerator) CanScanPush() bool { return pickHealthy(a.scanPush) >= 0 }
+
+// AllUnitsFailed reports whether no unit of any kind can serve: the
+// accelerator is present but dead, and the platform should run the host
+// collector path wholesale.
+func (a *Accelerator) AllUnitsFailed() bool {
+	return !a.CanCopySearch() && !a.CanBitmapCount() && !a.CanScanPush()
+}
+
+// UnitHealth counts unit states across every pool.
+func (a *Accelerator) UnitHealth() (failed, degraded, total int) {
+	count := func(us []unit) {
+		for i := range us {
+			total++
+			if us[i].failed {
+				failed++
+			} else if us[i].degraded {
+				degraded++
+			}
+		}
+	}
+	for c := range a.copySearch {
+		count(a.copySearch[c])
+		count(a.bitmapCount[c])
+	}
+	count(a.scanPush)
+	return
+}
+
+// finish settles a unit's reservation over [start, last]: degraded units
+// stretch the service span by the configured factor before freeing.
+// Returns the (possibly stretched) completion time.
+func (a *Accelerator) finish(u *unit, start, last sim.Time) sim.Time {
+	if u.degraded && a.degradeFactor > 1 {
+		last = start + sim.Time(float64(last-start)*a.degradeFactor)
+	}
+	u.busy += last - start
+	u.freeAt = last
+	u.reqs++
+	return last
 }
 
 // onChipHop is the command latency to a CPU-side unit (Figure 16): an

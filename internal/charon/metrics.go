@@ -63,6 +63,11 @@ func (a *Accelerator) Collect(reg *metrics.Registry, prefix string, horizon sim.
 	reg.AddUint(prefix+"/tlb_walks", a.Stats.TLBWalks)
 	reg.AddUint(prefix+"/mem_read_bytes", a.Stats.Mem.ReadBytes)
 	reg.AddUint(prefix+"/mem_write_bytes", a.Stats.Mem.WriteBytes)
+	if failed, degraded, _ := a.UnitHealth(); failed > 0 || degraded > 0 {
+		reg.AddUint(prefix+"/units_failed", uint64(failed))
+		reg.AddUint(prefix+"/units_degraded", uint64(degraded))
+		reg.AddUint(prefix+"/reissues", a.Stats.Reissues)
+	}
 	for i, c := range a.bmCaches {
 		c.Collect(reg, fmt.Sprintf("%s/bmcache%d", prefix, i))
 	}

@@ -16,14 +16,19 @@ const StreamGrain = 256
 // reaches the host.
 func (a *Accelerator) OffloadCopy(t sim.Time, src, dst uint64, size uint32) sim.Time {
 	a.Stats.Offloads[KCopy]++
-	cube := a.sys.Mapper().Cube(src)
+	cube, u := a.pickCopySearch(a.sys.Mapper().Cube(src))
+	if cube < 0 {
+		// Defensive: callers guard with CanCopySearch; serve on the dead
+		// home pool rather than corrupt state.
+		cube, u = a.sys.Mapper().Cube(src), 0
+	}
 	at := a.transportRequest(t, cube)
 	at = a.translate(at, cube, src)
 
-	u := pickUnit(a.copySearch[cube])
+	un := &a.copySearch[cube][u]
 	start := at
-	if a.copySearch[cube][u].freeAt > start {
-		start = a.copySearch[cube][u].freeAt
+	if un.freeAt > start {
+		start = un.freeAt
 	}
 
 	// Stream reads at one 256 B request per cycle, bounded by the MAI;
@@ -56,9 +61,7 @@ func (a *Accelerator) OffloadCopy(t sim.Time, src, dst uint64, size uint32) sim.
 	if last == 0 {
 		last = start + a.cfg.LogicPeriod
 	}
-	a.copySearch[cube][u].busy += last - start
-	a.copySearch[cube][u].freeAt = last
-	a.copySearch[cube][u].reqs++
+	last = a.finish(un, start, last)
 	a.span("copy", cube, tidCopy+u, start, last)
 	return a.transportResponse(last, cube, hmc.RespPlainBytes)
 }
@@ -69,14 +72,17 @@ func (a *Accelerator) OffloadCopy(t sim.Time, src, dst uint64, size uint32) sim.
 // the cube housing the start address. Returns host-visible completion.
 func (a *Accelerator) OffloadSearch(t sim.Time, start64 uint64, size uint32) sim.Time {
 	a.Stats.Offloads[KSearch]++
-	cube := a.sys.Mapper().Cube(start64)
+	cube, u := a.pickCopySearch(a.sys.Mapper().Cube(start64))
+	if cube < 0 {
+		cube, u = a.sys.Mapper().Cube(start64), 0
+	}
 	at := a.transportRequest(t, cube)
 	at = a.translate(at, cube, start64)
 
-	u := pickUnit(a.copySearch[cube])
+	un := &a.copySearch[cube][u]
 	start := at
-	if a.copySearch[cube][u].freeAt > start {
-		start = a.copySearch[cube][u].freeAt
+	if un.freeAt > start {
+		start = un.freeAt
 	}
 
 	var last sim.Time
@@ -96,9 +102,7 @@ func (a *Accelerator) OffloadSearch(t sim.Time, start64 uint64, size uint32) sim
 	if last == 0 {
 		last = start + a.cfg.LogicPeriod
 	}
-	a.copySearch[cube][u].busy += last - start
-	a.copySearch[cube][u].freeAt = last
-	a.copySearch[cube][u].reqs++
+	last = a.finish(un, start, last)
 	a.span("search", cube, tidCopy+u, start, last)
 	// Search returns a value: 32 B response.
 	return a.transportResponse(last, cube, hmc.RespValueBytes)
@@ -111,14 +115,17 @@ func (a *Accelerator) OffloadSearch(t sim.Time, start64 uint64, size uint32) sim
 // offset (Figure 8 line 3). Scheduled to the cube housing the bitmap.
 func (a *Accelerator) OffloadBitmapCount(t sim.Time, begAddr, endAddr uint64, size uint32) sim.Time {
 	a.Stats.Offloads[KBitmapCount]++
-	cube := a.sys.Mapper().Cube(begAddr)
+	cube, u := a.pickBitmapCount(a.sys.Mapper().Cube(begAddr))
+	if cube < 0 {
+		cube, u = a.sys.Mapper().Cube(begAddr), 0
+	}
 	at := a.transportRequest(t, cube)
 	at = a.translate(at, cube, begAddr)
 
-	u := pickUnit(a.bitmapCount[cube])
+	un := &a.bitmapCount[cube][u]
 	start := at
-	if a.bitmapCount[cube][u].freeAt > start {
-		start = a.bitmapCount[cube][u].freeAt
+	if un.freeAt > start {
+		start = un.freeAt
 	}
 
 	// Fetch both maps block by block through the bitmap cache.
@@ -137,9 +144,7 @@ func (a *Accelerator) OffloadBitmapCount(t sim.Time, begAddr, endAddr uint64, si
 	if computeDone > last {
 		last = computeDone
 	}
-	a.bitmapCount[cube][u].busy += last - start
-	a.bitmapCount[cube][u].freeAt = last
-	a.bitmapCount[cube][u].reqs++
+	last = a.finish(un, start, last)
 	a.span("bitmapcount", cube, tidBitmap+u, start, last)
 	return a.transportResponse(last, cube, hmc.RespValueBytes)
 }
@@ -155,10 +160,14 @@ func (a *Accelerator) OffloadScanPush(t sim.Time, obj uint64, refs []RefOp, stac
 	at := a.transportRequest(t, cube)
 	at = a.translate(at, cube, obj)
 
-	u := pickUnit(a.scanPush)
+	u := pickHealthy(a.scanPush)
+	if u < 0 {
+		u = 0 // defensive: callers guard with CanScanPush
+	}
+	un := &a.scanPush[u]
 	start := at
-	if a.scanPush[u].freeAt > start {
-		start = a.scanPush[u].freeAt
+	if un.freeAt > start {
+		start = un.freeAt
 	}
 
 	m := &a.mais[cube]
@@ -235,9 +244,7 @@ func (a *Accelerator) OffloadScanPush(t sim.Time, obj uint64, refs []RefOp, stac
 	if last < start {
 		last = start + a.cfg.LogicPeriod
 	}
-	a.scanPush[u].busy += last - start
-	a.scanPush[u].freeAt = last
-	a.scanPush[u].reqs++
+	last = a.finish(un, start, last)
 	a.span("scanpush", cube, tidScanPush+u, start, last)
 	return a.transportResponse(last, cube, hmc.RespPlainBytes)
 }

@@ -14,6 +14,7 @@ package dram
 import (
 	"fmt"
 
+	"charonsim/internal/fault"
 	"charonsim/internal/memsys"
 	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
@@ -88,15 +89,50 @@ type Controller struct {
 
 	bus *sim.Calendar // data-bus occupancy (gap-filling reservations)
 
+	// Fault state: flt drives per-read ECC-correction draws, remap steers
+	// accesses away from hard-faulted banks. Both stay nil with faults off.
+	flt   *fault.Source
+	fcfg  fault.Config
+	remap *memsys.BankRemap
+
+	eccCorrections uint64
+	eccDelay       sim.Time
+	remappedAccs   uint64
+
 	Stats memsys.Stats
 }
 
 // NewController returns a controller managing nbanks banks.
 func NewController(eng *sim.Engine, timing Timing, nbanks int) *Controller {
-	return &Controller{
+	return NewControllerFault(eng, timing, nbanks, nil, "")
+}
+
+// NewControllerFault is NewController with fault injection: hard bank
+// faults are drawn once here (from the "<name>/banks" stream, in bank
+// order, so the faulted-bank set is a pure function of seed and name) and
+// remapped onto healthy neighbours; ECC corrections are drawn per read
+// from the "<name>" stream. A nil injector is exactly NewController.
+func NewControllerFault(eng *sim.Engine, timing Timing, nbanks int, inj *fault.Injector, name string) *Controller {
+	c := &Controller{
 		eng: eng, timing: timing, banks: make([]bank, nbanks),
 		bus: sim.NewCalendar(100 * sim.Nanosecond),
 	}
+	if inj != nil {
+		c.fcfg = inj.Config()
+		c.flt = inj.Source(name)
+		banks := inj.Source(name + "/banks")
+		c.remap = memsys.NewBankRemap(nbanks, func(int) bool {
+			return banks.Hit(c.fcfg.HardBankRate)
+		})
+	}
+	return c
+}
+
+// FaultStats returns the controller's reliability counters: ECC-corrected
+// reads, total correction latency charged, hard-faulted (remapped) banks,
+// and accesses redirected by the remap table.
+func (c *Controller) FaultStats() (eccCorrections uint64, eccDelay sim.Time, remappedBanks int, remappedAccesses uint64) {
+	return c.eccCorrections, c.eccDelay, c.remap.Remapped(), c.remappedAccs
 }
 
 // BusBusy returns the accumulated data-bus occupancy.
@@ -133,6 +169,14 @@ func (c *Controller) Collect(reg *metrics.Registry, prefix string, horizon sim.T
 	reg.AddUint(prefix+"/bus_busy_ps", uint64(c.bus.Busy))
 	if horizon > 0 {
 		reg.SetMax(prefix+"/bus_util", c.bus.Utilization(horizon))
+	}
+	if c.eccCorrections > 0 {
+		reg.AddUint(prefix+"/ecc_corrections", c.eccCorrections)
+		reg.AddUint(prefix+"/ecc_delay_ps", uint64(c.eccDelay))
+	}
+	if n := c.remap.Remapped(); n > 0 {
+		reg.AddUint(prefix+"/remapped_banks", uint64(n))
+		reg.AddUint(prefix+"/remapped_accesses", c.remappedAccs)
 	}
 	for i := range c.banks {
 		b := &c.banks[i]
@@ -171,6 +215,13 @@ const (
 func (c *Controller) AccessAt(now sim.Time, kind memsys.Kind, bankIdx int, row uint64, size uint32) sim.Time {
 	if t := c.eng.Now(); t > now {
 		now = t
+	}
+	// Hard-faulted banks are served by their remap target: same row/size,
+	// different bank state machine (so the spare bank absorbs the extra
+	// pressure, which is the performance effect we want to observe).
+	if m := c.remap.Bank(bankIdx); m != bankIdx {
+		bankIdx = m
+		c.remappedAccs++
 	}
 
 	nbursts := (uint64(size) + uint64(c.timing.BurstBytes) - 1) / uint64(c.timing.BurstBytes)
@@ -233,6 +284,14 @@ func (c *Controller) AccessAt(now sim.Time, kind memsys.Kind, bankIdx int, row u
 	// future reservation is usable).
 	done := c.bus.Reserve(dataAt, occupancy)
 	c.Stats.Record(&memsys.Request{Kind: kind, Size: size})
+	// ECC correction: detect-correct-replay delays the returning data but
+	// occupies no extra bus slot (the corrected word is patched in the
+	// controller, not re-read from the bank).
+	if c.flt.Hit(c.fcfg.ECCRate) {
+		done += c.fcfg.ECCLatency
+		c.eccCorrections++
+		c.eccDelay += c.fcfg.ECCLatency
+	}
 	return done
 }
 
@@ -248,10 +307,17 @@ type DDR4 struct {
 
 // NewDDR4 builds the Table 2 DDR4 system on eng.
 func NewDDR4(eng *sim.Engine) *DDR4 {
+	return NewDDR4Fault(eng, nil)
+}
+
+// NewDDR4Fault is NewDDR4 with fault injection on each channel controller
+// (streams "ddr4/ch0", "ddr4/ch1", ...). A nil injector is exactly NewDDR4.
+func NewDDR4Fault(eng *sim.Engine, inj *fault.Injector) *DDR4 {
 	m := memsys.NewDDR4Mapper()
 	d := &DDR4{eng: eng, mapper: m}
 	for i := 0; i < m.Channels; i++ {
-		d.channels = append(d.channels, NewController(eng, DDR4Timing(), m.Ranks*m.Banks))
+		d.channels = append(d.channels,
+			NewControllerFault(eng, DDR4Timing(), m.Ranks*m.Banks, inj, fmt.Sprintf("ddr4/ch%d", i)))
 	}
 	return d
 }

@@ -55,7 +55,7 @@ func runAblation(s *Session, name string, points []AblationPoint, def int) (*Abl
 	for i := range grid {
 		grid[i] = make([]float64, len(wls))
 	}
-	err := forEachGrid(cfg.Parallelism, len(points), len(wls), func(pi, wi int) error {
+	err := cfg.forEachGrid(len(points), len(wls), func(pi, wi int) error {
 		w := wls[wi]
 		run, err := s.Record(w, cfg.Factor)
 		if err != nil {

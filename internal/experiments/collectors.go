@@ -50,7 +50,7 @@ func CollectorStudy(s *Session) (*CollectorStudyResult, error) {
 	for i := range grid {
 		grid[i] = make([]cell, len(StudyModes))
 	}
-	err := forEachGrid(cfg.Parallelism, len(cfg.Workloads), len(StudyModes), func(w, mi int) error {
+	err := cfg.forEachGrid(len(cfg.Workloads), len(StudyModes), func(w, mi int) error {
 		run, err := s.RecordMode(cfg.Workloads[w], cfg.Factor, StudyModes[mi])
 		if err != nil {
 			return err

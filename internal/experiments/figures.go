@@ -32,7 +32,7 @@ func Fig2(s *Session) (*Fig2Result, error) {
 	for i := range rows {
 		rows[i] = make([]float64, len(Fig2Factors))
 	}
-	err := forEachGrid(cfg.Parallelism, len(cfg.Workloads), len(Fig2Factors), func(w, f int) error {
+	err := cfg.forEachGrid(len(cfg.Workloads), len(Fig2Factors), func(w, f int) error {
 		r, err := s.Record(cfg.Workloads[w], Fig2Factors[f])
 		if err != nil {
 			return err
@@ -82,7 +82,7 @@ func Fig4(s *Session, kind gc.Kind) (*Fig4Result, error) {
 		Share: map[string][gc.NumPrims]float64{}, KeyShare: map[string]float64{}}
 	shares := make([][gc.NumPrims]float64, len(cfg.Workloads))
 	keys := make([]float64, len(cfg.Workloads))
-	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+	err := cfg.forEach(len(cfg.Workloads), func(w int) error {
 		r, err := s.Record(cfg.Workloads[w], cfg.Factor)
 		if err != nil {
 			return err
@@ -164,7 +164,7 @@ func Fig12(s *Session) (*Fig12Result, error) {
 	res := &Fig12Result{Workload: cfg.Workloads,
 		Speedup: map[string]map[exec.Kind]float64{}, Geomean: map[exec.Kind]float64{}}
 	rows := make([][]float64, len(cfg.Workloads)) // rows[w][ki] aligned to Fig12Kinds
-	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+	err := cfg.forEach(len(cfg.Workloads), func(w int) error {
 		base, err := s.replayTotals(cfg.Workloads[w], exec.KindDDR4, cfg.Threads)
 		if err != nil {
 			return err
@@ -251,7 +251,7 @@ func Fig13(s *Session) (*Fig13Result, error) {
 	for i := range bw {
 		bw[i] = make([]float64, len(Fig13Kinds))
 	}
-	err := forEachGrid(cfg.Parallelism, len(cfg.Workloads), len(Fig13Kinds), func(w, ki int) error {
+	err := cfg.forEachGrid(len(cfg.Workloads), len(Fig13Kinds), func(w, ki int) error {
 		t, err := s.replayTotals(cfg.Workloads[w], Fig13Kinds[ki], cfg.Threads)
 		if err != nil {
 			return err
@@ -323,7 +323,7 @@ func Fig14(s *Session) (*Fig14Result, error) {
 		ok bool
 	}
 	rows := make([][]cell, len(cfg.Workloads)) // rows[w][pi] aligned to Fig14Prims
-	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+	err := cfg.forEach(len(cfg.Workloads), func(w int) error {
 		base, err := s.replayTotals(cfg.Workloads[w], exec.KindDDR4, cfg.Threads)
 		if err != nil {
 			return err
@@ -412,7 +412,7 @@ func Fig15(s *Session) (*Fig15Result, error) {
 	// Pass 1: record each workload and establish the 1T DDR4 baseline.
 	runs := make([]*Run, len(cfg.Workloads))
 	bases := make([]float64, len(cfg.Workloads))
-	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+	err := cfg.forEach(len(cfg.Workloads), func(w int) error {
 		r, err := s.Record(cfg.Workloads[w], cfg.Factor)
 		if err != nil {
 			return err
@@ -434,7 +434,7 @@ func Fig15(s *Session) (*Fig15Result, error) {
 		}
 	}
 	nPoints := len(Fig15Kinds) * len(Fig15Threads)
-	err = forEachGrid(cfg.Parallelism, len(cfg.Workloads), nPoints, func(w, p int) error {
+	err = cfg.forEachGrid(len(cfg.Workloads), nPoints, func(w, p int) error {
 		ki, ti := p/len(Fig15Threads), p%len(Fig15Threads)
 		th := Fig15Threads[ti]
 		t := Sum(Fig15Kinds[ki], s.Replay(runs[w], Fig15Kinds[ki], th), th)
@@ -488,7 +488,7 @@ func Fig16(s *Session) (*Fig16Result, error) {
 	cfg := s.Config()
 	res := &Fig16Result{Workload: cfg.Workloads, Speedup: map[string]map[exec.Kind]float64{}}
 	rows := make([][]float64, len(cfg.Workloads)) // rows[w][ki] aligned to Fig16Kinds
-	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+	err := cfg.forEach(len(cfg.Workloads), func(w int) error {
 		base, err := s.replayTotals(cfg.Workloads[w], exec.KindDDR4, cfg.Threads)
 		if err != nil {
 			return err
@@ -566,7 +566,7 @@ func Fig17(s *Session) (*Fig17Result, error) {
 		Normalized: map[string]map[exec.Kind]float64{}, Savings: map[exec.Kind]float64{}}
 	rows := make([][]float64, len(cfg.Workloads)) // rows[w][ki] aligned to Fig17Kinds
 	charonPower := make([]float64, len(cfg.Workloads))
-	err := forEach(cfg.Parallelism, len(cfg.Workloads), func(w int) error {
+	err := cfg.forEach(len(cfg.Workloads), func(w int) error {
 		base, err := s.replayTotals(cfg.Workloads[w], exec.KindDDR4, cfg.Threads)
 		if err != nil {
 			return err

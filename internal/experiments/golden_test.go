@@ -174,6 +174,18 @@ func goldenRenders() map[string]func() string {
 			r := &ThermalResult{AvgPowerW: 2.98, MaxPowerW: 4.51, MaxWork: "WL1", DensityMWMM2: 45.1}
 			return r.Render()
 		},
+		"faults": func() string {
+			r := &FaultSweepResult{
+				Workload: []string{"WL1", "WL2"},
+				Rates:    []float64{0.001, 0.01, 0.05},
+				Norm: map[string][]float64{
+					"WL1": {0.388, 0.389, 0.395, 0.421, 1.0},
+					"WL2": {0.419, 0.418, 0.427, 0.446, 1.0},
+				},
+				Geomean: []float64{0.404, 0.403, 0.410, 0.434, 1.0},
+			}
+			return r.Render()
+		},
 	}
 }
 

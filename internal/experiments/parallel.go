@@ -1,6 +1,11 @@
 package experiments
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
 
 // forEach runs fn(i) for every i in [0, n) on at most par concurrent
 // workers and returns the lowest-index error (nil if none). Callers write
@@ -13,16 +18,30 @@ import "sync"
 // (work after a failing index is wasted, not wrong — simulation units are
 // independent and side-effect-free beyond session memoization) and the
 // reported error is still the one a serial loop would have hit first.
+//
+// Every invocation is panic-guarded: a panicking run (a faulted scenario
+// tripping an invariant, say) becomes that index's error instead of
+// killing the whole sweep.
 func forEach(par, n int, fn func(i int) error) error {
+	return forEachTimeout(par, 0, n, fn)
+}
+
+// forEachTimeout is forEach with a per-run wall-clock budget: a run
+// exceeding timeout reports a timeout error for its index while the
+// others proceed. Zero disables the budget. A timed-out run's goroutine
+// cannot be cancelled (the simulation is pure CPU); it is abandoned to
+// finish in the background and its late result discarded.
+func forEachTimeout(par int, timeout time.Duration, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
 	if par > n {
 		par = n
 	}
+	run := func(i int) error { return runGuarded(i, timeout, fn) }
 	if par <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -36,7 +55,7 @@ func forEach(par, n int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				errs[i] = fn(i)
+				errs[i] = run(i)
 			}
 		}()
 	}
@@ -53,15 +72,54 @@ func forEach(par, n int, fn func(i int) error) error {
 	return nil
 }
 
+// runGuarded invokes fn(i) with panic recovery and an optional wall-clock
+// budget.
+func runGuarded(i int, timeout time.Duration, fn func(i int) error) (err error) {
+	guarded := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("experiments: run %d panicked: %v\n%s", i, r, debug.Stack())
+			}
+		}()
+		return fn(i)
+	}
+	if timeout <= 0 {
+		return guarded()
+	}
+	done := make(chan error, 1) // buffered: a late finisher must not block
+	go func() { done <- guarded() }()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err = <-done:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("experiments: run %d exceeded the %v run timeout", i, timeout)
+	}
+}
+
 // ForEach exposes the bounded worker pool: charonsim.RunAll fans the
 // experiment list out through it so the whole suite shares one concurrency
 // discipline.
 func ForEach(par, n int, fn func(i int) error) error { return forEach(par, n, fn) }
 
+// forEach binds the pool to the session configuration: Parallelism bounds
+// the workers and RunTimeout budgets each run.
+func (c Config) forEach(n int, fn func(i int) error) error {
+	return forEachTimeout(c.Parallelism, c.RunTimeout, n, fn)
+}
+
 // forEachGrid is forEach over an n-by-m index grid, flattened row-major so
 // all n*m cells can run concurrently.
 func forEachGrid(par, n, m int, fn func(i, j int) error) error {
 	return forEach(par, n*m, func(k int) error {
+		return fn(k/m, k%m)
+	})
+}
+
+// forEachGrid is the Config-bound grid variant.
+func (c Config) forEachGrid(n, m int, fn func(i, j int) error) error {
+	return c.forEach(n*m, func(k int) error {
 		return fn(k/m, k%m)
 	})
 }

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"charonsim/internal/energy"
 	"charonsim/internal/exec"
+	"charonsim/internal/fault"
 	"charonsim/internal/gc"
 	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
@@ -44,6 +46,16 @@ type Config struct {
 	// Trace, when non-nil, receives event spans (GC pauses, flushes,
 	// Charon offloads) from every replay.
 	Trace *metrics.Recorder
+	// Fault injects the configured reliability faults into every replayed
+	// platform (see internal/fault). Recordings are unaffected — the
+	// collector's functional log is fault-independent; only replay timing
+	// degrades. The zero value keeps every report byte-identical to a
+	// fault-free harness.
+	Fault fault.Config
+	// RunTimeout, when positive, bounds each simulation unit's wall-clock
+	// time in the worker pool; a run exceeding it fails with a timeout
+	// error instead of hanging the sweep. Zero disables the budget.
+	RunTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -195,9 +207,21 @@ func (s *Session) Observe(p exec.Platform) {
 }
 
 // Replay plays a run's full GC log on a fresh platform of the given kind,
-// returning per-event results.
+// returning per-event results. The session's fault configuration (if any)
+// applies.
 func (s *Session) Replay(r *Run, kind exec.Kind, threads int) []exec.Result {
-	p := s.NewPlatform(kind, r.Env, threads, exec.Options{})
+	return s.ReplayFault(r, kind, threads, s.cfg.Fault)
+}
+
+// ReplayFault is Replay with an explicit fault configuration, overriding
+// the session's — the fault-sweep experiment uses it to replay the same
+// recording at several fault rates within one session.
+func (s *Session) ReplayFault(r *Run, kind exec.Kind, threads int, fc fault.Config) []exec.Result {
+	opt := exec.Options{}
+	if fc.Enabled() {
+		opt.Fault = &fc
+	}
+	p := s.NewPlatform(kind, r.Env, threads, opt)
 	out := make([]exec.Result, 0, len(r.Col.Log))
 	for _, ev := range r.Col.Log {
 		out = append(out, p.Replay(ev, threads))

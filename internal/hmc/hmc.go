@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"charonsim/internal/dram"
+	"charonsim/internal/fault"
 	"charonsim/internal/memsys"
 	"charonsim/internal/metrics"
 	"charonsim/internal/sim"
@@ -75,6 +76,18 @@ type Link struct {
 	cfg  LinkConfig
 	lane [2]*sim.Calendar // per-direction serialization occupancy
 
+	// flt drives per-packet CRC-error draws; nil with faults off.
+	flt  *fault.Source
+	fcfg fault.Config
+
+	// Retry accounting. Stats records each logical packet exactly once —
+	// retransmissions appear only here (plus as extra lane occupancy), so
+	// byte-conservation and bandwidth reports stay in logical bytes.
+	Retries      uint64   // retransmitted packets (all causes)
+	RetransBytes uint64   // bytes re-serialized by retransmissions
+	RetryGiveups uint64   // packets that exhausted the retry budget
+	RetryDelay   sim.Time // total extra delivery delay from retries
+
 	Stats memsys.Stats
 }
 
@@ -86,10 +99,21 @@ const (
 
 // NewLink creates a link on eng.
 func NewLink(eng *sim.Engine, cfg LinkConfig) *Link {
-	return &Link{eng: eng, cfg: cfg, lane: [2]*sim.Calendar{
+	return NewLinkFault(eng, cfg, nil, "")
+}
+
+// NewLinkFault is NewLink with CRC fault injection drawing from the named
+// stream. A nil injector is exactly NewLink.
+func NewLinkFault(eng *sim.Engine, cfg LinkConfig, inj *fault.Injector, name string) *Link {
+	l := &Link{eng: eng, cfg: cfg, lane: [2]*sim.Calendar{
 		sim.NewCalendar(50 * sim.Nanosecond),
 		sim.NewCalendar(50 * sim.Nanosecond),
 	}}
+	if inj != nil {
+		l.fcfg = inj.Config()
+		l.flt = inj.Source(name)
+	}
+	return l
 }
 
 // serTime returns the serialization time for n bytes.
@@ -105,6 +129,29 @@ func (l *Link) TransferAt(start sim.Time, dir int, n uint32) sim.Time {
 	}
 	ser := l.serTime(n)
 	end := l.lane[dir].Reserve(start, ser)
+	// CRC retry loop: each corrupted transmission is re-serialized on the
+	// same lane after a bounded exponential backoff (doubling per attempt,
+	// capped at 16x). The lane occupancy is real — concurrent packets see
+	// the lane busy and queue behind the retransmissions, so utilization
+	// and timing degrade together — but Stats below records the logical
+	// packet once, keeping delivered-byte accounting exact.
+	if l.flt != nil {
+		backoff := l.fcfg.RetryBackoff
+		firstTry := end
+		for attempt := 0; l.flt.Hit(l.fcfg.LinkCRCRate); attempt++ {
+			if attempt >= l.fcfg.RetryBudget {
+				l.RetryGiveups++
+				break
+			}
+			l.Retries++
+			l.RetransBytes += uint64(n)
+			end = l.lane[dir].Reserve(end+backoff, ser)
+			if backoff < l.fcfg.RetryBackoff*16 {
+				backoff *= 2
+			}
+		}
+		l.RetryDelay += end - firstTry
+	}
 	kind := memsys.Read
 	if dir == DirDown {
 		kind = memsys.Write
@@ -138,6 +185,12 @@ func (l *Link) Collect(reg *metrics.Registry, prefix string, horizon sim.Time) {
 		reg.SetMax(prefix+"/down_util", l.lane[DirDown].Utilization(horizon))
 		reg.SetMax(prefix+"/up_util", l.lane[DirUp].Utilization(horizon))
 	}
+	if l.Retries > 0 || l.RetryGiveups > 0 {
+		reg.AddUint(prefix+"/crc_retries", l.Retries)
+		reg.AddUint(prefix+"/crc_retrans_bytes", l.RetransBytes)
+		reg.AddUint(prefix+"/crc_giveups", l.RetryGiveups)
+		reg.AddUint(prefix+"/crc_retry_delay_ps", uint64(l.RetryDelay))
+	}
 }
 
 // Cube is one HMC stack: 32 vault controllers behind the logic layer.
@@ -151,10 +204,12 @@ type Cube struct {
 	TSVStats memsys.Stats
 }
 
-func newCube(eng *sim.Engine, id int, m *memsys.HMCMapper) *Cube {
+func newCube(eng *sim.Engine, id int, m *memsys.HMCMapper, inj *fault.Injector) *Cube {
 	c := &Cube{ID: id, eng: eng, mapper: m}
 	for v := 0; v < m.Vaults; v++ {
-		c.vaults = append(c.vaults, dram.NewController(eng, dram.HMCVaultTiming(), m.Banks))
+		c.vaults = append(c.vaults,
+			dram.NewControllerFault(eng, dram.HMCVaultTiming(), m.Banks, inj,
+				fmt.Sprintf("hmc/cube%d/vault%d", id, v)))
 	}
 	return c
 }
@@ -204,6 +259,14 @@ func (c *Cube) Collect(reg *metrics.Registry, prefix string, horizon sim.Time) {
 		if horizon > 0 {
 			reg.SetMax(p+"/bus_util", ctl.BusUtilization(horizon))
 		}
+		if ecc, delay, banks, accs := ctl.FaultStats(); ecc > 0 || banks > 0 {
+			reg.AddUint(p+"/ecc_corrections", ecc)
+			reg.AddUint(p+"/ecc_delay_ps", uint64(delay))
+			if banks > 0 {
+				reg.AddUint(p+"/remapped_banks", uint64(banks))
+				reg.AddUint(p+"/remapped_accesses", accs)
+			}
+		}
 	}
 	reg.AddUint(prefix+"/row_hits", hits)
 	reg.AddUint(prefix+"/row_opens", opens)
@@ -236,13 +299,40 @@ func NewSystem(eng *sim.Engine, cubeShift uint) *System {
 
 // NewSystemTopology builds the system with an explicit cube topology.
 func NewSystemTopology(eng *sim.Engine, cubeShift uint, topo Topology) *System {
+	return NewSystemFault(eng, cubeShift, topo, nil)
+}
+
+// NewSystemFault is NewSystemTopology with fault injection threaded into
+// every link ("hmc/hostlink", "hmc/link<i>") and vault controller
+// ("hmc/cube<c>/vault<v>"). A nil injector is exactly NewSystemTopology.
+func NewSystemFault(eng *sim.Engine, cubeShift uint, topo Topology, inj *fault.Injector) *System {
 	m := memsys.NewHMCMapper(cubeShift)
-	s := &System{eng: eng, mapper: m, topo: topo, hostLink: NewLink(eng, DefaultLinkConfig())}
+	s := &System{eng: eng, mapper: m, topo: topo,
+		hostLink: NewLinkFault(eng, DefaultLinkConfig(), inj, "hmc/hostlink")}
 	for i := 0; i < m.Cubes; i++ {
-		s.cubes = append(s.cubes, newCube(eng, i, m))
-		s.cubeLinks = append(s.cubeLinks, NewLink(eng, DefaultLinkConfig()))
+		s.cubes = append(s.cubes, newCube(eng, i, m, inj))
+		s.cubeLinks = append(s.cubeLinks,
+			NewLinkFault(eng, DefaultLinkConfig(), inj, fmt.Sprintf("hmc/link%d", i)))
 	}
 	return s
+}
+
+// FaultStats aggregates reliability counters across the whole system:
+// link retransmissions and giveups, ECC corrections, and remapped banks.
+func (s *System) FaultStats() (retries, giveups, eccCorrections uint64, remappedBanks int) {
+	links := append([]*Link{s.hostLink}, s.cubeLinks[1:]...)
+	for _, l := range links {
+		retries += l.Retries
+		giveups += l.RetryGiveups
+	}
+	for _, c := range s.cubes {
+		for _, v := range c.Vaults() {
+			ecc, _, rb, _ := v.FaultStats()
+			eccCorrections += ecc
+			remappedBanks += rb
+		}
+	}
+	return
 }
 
 // Topology returns the cube interconnect shape.

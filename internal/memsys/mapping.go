@@ -128,6 +128,69 @@ func SplitBursts(addr uint64, size uint32, grain uint64, fn func(addr uint64, si
 	}
 }
 
+// BankRemap is a per-controller redirection table for hard-faulted banks:
+// accesses addressed to a dead bank are steered onto a designated healthy
+// neighbour (the spare-decoder trick real controllers use). An identity
+// table (or nil slice) means every bank is healthy.
+type BankRemap struct {
+	to []int
+}
+
+// NewBankRemap builds a remap table over nbanks banks. faulted reports,
+// per bank index, whether that bank is hard-faulted; each faulted bank is
+// redirected to the next healthy bank (wrapping). If every bank is faulted
+// the table degenerates to identity — there is nowhere left to remap, and
+// modelling a wholly dead channel is out of scope.
+func NewBankRemap(nbanks int, faulted func(bank int) bool) *BankRemap {
+	dead := make([]bool, nbanks)
+	any, all := false, true
+	for i := 0; i < nbanks; i++ {
+		dead[i] = faulted(i)
+		any = any || dead[i]
+		all = all && dead[i]
+	}
+	if !any {
+		return nil
+	}
+	r := &BankRemap{to: make([]int, nbanks)}
+	for i := range r.to {
+		r.to[i] = i
+		if dead[i] && !all {
+			for d := 1; d < nbanks; d++ {
+				j := (i + d) % nbanks
+				if !dead[j] {
+					r.to[i] = j
+					break
+				}
+			}
+		}
+	}
+	return r
+}
+
+// Bank returns the bank actually serving accesses addressed to bank.
+// Nil-safe: a nil remap is the identity.
+func (r *BankRemap) Bank(bank int) int {
+	if r == nil || bank < 0 || bank >= len(r.to) {
+		return bank
+	}
+	return r.to[bank]
+}
+
+// Remapped counts banks redirected away from their home index.
+func (r *BankRemap) Remapped() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for i, t := range r.to {
+		if t != i {
+			n++
+		}
+	}
+	return n
+}
+
 // AlignDown rounds addr down to a multiple of grain.
 func AlignDown(addr, grain uint64) uint64 { return addr / grain * grain }
 

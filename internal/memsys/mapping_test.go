@@ -217,3 +217,52 @@ func TestPortFunc(t *testing.T) {
 		t.Fatal("PortFunc did not dispatch")
 	}
 }
+
+func TestBankRemap(t *testing.T) {
+	// No faults: constructor returns nil and nil is the identity.
+	if r := NewBankRemap(8, func(int) bool { return false }); r != nil {
+		t.Fatalf("healthy remap should be nil, got %+v", r)
+	}
+	var nilRemap *BankRemap
+	if nilRemap.Bank(5) != 5 || nilRemap.Remapped() != 0 {
+		t.Fatal("nil remap must be identity")
+	}
+
+	// Banks 2 and 3 dead: both steer to 4 (next healthy, wrapping).
+	r := NewBankRemap(8, func(b int) bool { return b == 2 || b == 3 })
+	if got := r.Bank(2); got != 4 {
+		t.Fatalf("Bank(2) = %d, want 4", got)
+	}
+	if got := r.Bank(3); got != 4 {
+		t.Fatalf("Bank(3) = %d, want 4", got)
+	}
+	if got := r.Bank(0); got != 0 {
+		t.Fatalf("healthy bank moved: Bank(0) = %d", got)
+	}
+	if got := r.Remapped(); got != 2 {
+		t.Fatalf("Remapped = %d, want 2", got)
+	}
+	// Wrap-around: last bank dead steers to bank 0.
+	r = NewBankRemap(4, func(b int) bool { return b == 3 })
+	if got := r.Bank(3); got != 0 {
+		t.Fatalf("wrap Bank(3) = %d, want 0", got)
+	}
+	// Remapped target never lands on a dead bank.
+	r = NewBankRemap(8, func(b int) bool { return b%2 == 0 })
+	for b := 0; b < 8; b += 2 {
+		if r.Bank(b)%2 == 0 {
+			t.Fatalf("Bank(%d) = %d remapped onto a dead bank", b, r.Bank(b))
+		}
+	}
+	// All banks dead degenerates to identity.
+	r = NewBankRemap(4, func(int) bool { return true })
+	for b := 0; b < 4; b++ {
+		if r.Bank(b) != b {
+			t.Fatalf("all-dead Bank(%d) = %d, want identity", b, r.Bank(b))
+		}
+	}
+	// Out-of-range indexes pass through.
+	if r.Bank(-1) != -1 || r.Bank(99) != 99 {
+		t.Fatal("out-of-range banks must pass through")
+	}
+}
