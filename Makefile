@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test short race golden bench parbench audit faults lint ci
+.PHONY: build vet test short race golden bench parbench audit faults fuzz resume-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -33,10 +33,23 @@ bench:
 
 # Invariant audit: vet plus the cross-component conservation and
 # utilization-range checks (byte conservation between requesters and DRAM
-# banks, utilization gauges in [0,1], unit-busy double accounting).
+# banks, utilization gauges in [0,1], unit-busy double accounting), plus a
+# short fuzz pass over the public Config boundary.
 audit:
 	$(GO) vet ./...
 	$(GO) test -timeout 10m -run 'Invariant|Conservation|Utilization|BusyNeverExceeds|PerUnitMetrics|RequesterBytes|ConfigValidate' ./internal/exec ./internal/charon ./internal/sim .
+	$(GO) test -run FuzzConfigValidate -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) .
+
+# Fuzz the public Config boundary: Validate must never panic, and every
+# accepted config must run cleanly. FUZZTIME=10m fuzz for a longer soak.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run FuzzConfigValidate -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) .
+
+# Crash-safety smoke: interrupt a checkpointed sweep with SIGINT, resume
+# it, and diff against an uninterrupted golden run (see the script).
+resume-smoke:
+	./scripts/resume_smoke.sh
 
 # Serial-vs-parallel wall-time comparison (also verifies byte-identical
 # output across parallelism settings).
@@ -60,4 +73,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
 	fi
 
-ci: lint build test race audit faults
+ci: lint build test race audit faults resume-smoke

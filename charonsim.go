@@ -30,13 +30,18 @@
 package charonsim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io"
 	"math"
-	"os"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
 
+	"charonsim/internal/atomicio"
+	"charonsim/internal/checkpoint"
 	"charonsim/internal/energy"
 	"charonsim/internal/exec"
 	"charonsim/internal/experiments"
@@ -46,6 +51,18 @@ import (
 	"charonsim/internal/sim"
 	"charonsim/internal/workload"
 )
+
+// ErrNoProgress is the engine watchdog's verdict on a wedged simulation:
+// a run aborted because simulated time stopped advancing, the event queue
+// grew without bound, or the per-run wall-clock heartbeat expired. Match
+// it with errors.Is on any error returned from Run, RunAll or the
+// Simulate functions.
+var ErrNoProgress = sim.ErrNoProgress
+
+// ErrInternal marks an internal invariant violation (a panic in the
+// simulation core) recovered at the public API boundary and converted to
+// an error carrying the run descriptor and stack. Match with errors.Is.
+var ErrInternal = errors.New("internal invariant violation")
 
 // Config controls experiment execution.
 type Config struct {
@@ -95,15 +112,42 @@ type Config struct {
 	OffloadDeadline time.Duration
 	// RunTimeout, when positive, bounds each simulation unit's wall-clock
 	// time in the harness worker pool; a run exceeding it fails with a
-	// timeout error instead of hanging the whole sweep.
+	// timeout error instead of hanging the whole sweep. It also arms the
+	// engine watchdog's wall-clock heartbeat inside each run, so a wedged
+	// simulation aborts with diagnostics (ErrNoProgress) rather than
+	// silently burning its budget.
 	RunTimeout time.Duration
+	// CheckpointDir, when non-empty, makes sweeps crash-safe and
+	// resumable: every completed replay unit is persisted there (atomic
+	// temp-file+rename, checksummed) under a key derived from its fully
+	// resolved configuration, and consulted before simulating. Re-running
+	// an interrupted sweep with the same directory replays cached units
+	// byte-identically and executes only the missing ones. Corrupt,
+	// truncated or version-mismatched entries are detected and discarded.
+	// The key includes the fault and parallelism knobs, so changing any
+	// Config field that could affect results invalidates the cache
+	// naturally. Incompatible with MetricsPath/TracePath: a cached replay
+	// executes no simulation and would silently skew their counters.
+	CheckpointDir string
+	// WatchdogStalls overrides the engine watchdog's stall budget — the
+	// number of consecutive events executed without simulated time
+	// advancing before the run is declared wedged. 0 selects the default
+	// (generous enough for every legitimate workload); -1 disables the
+	// stall check.
+	WatchdogStalls int
+	// WatchdogQueue overrides the engine watchdog's event-queue bound — a
+	// queue growing past it aborts the run as a leak. 0 selects the
+	// default; -1 disables the check.
+	WatchdogQueue int
 }
 
 func (c Config) toInternal() experiments.Config {
 	return experiments.Config{Threads: c.Threads, Factor: c.HeapFactor,
 		Workloads: c.Workloads, Parallelism: c.Parallelism,
-		Fault:      c.faultConfig(),
-		RunTimeout: c.RunTimeout}
+		Fault:          c.faultConfig(),
+		RunTimeout:     c.RunTimeout,
+		WatchdogStalls: c.WatchdogStalls,
+		WatchdogQueue:  c.WatchdogQueue}
 }
 
 // faultConfig maps the public fault knobs onto the injector configuration.
@@ -156,6 +200,15 @@ func (c Config) Validate() error {
 	if c.RunTimeout < 0 {
 		return fmt.Errorf("charonsim: RunTimeout must be >= 0 (0 disables the budget), got %v", c.RunTimeout)
 	}
+	if c.WatchdogStalls < -1 {
+		return fmt.Errorf("charonsim: WatchdogStalls must be >= -1 (-1 disables, 0 = default), got %d", c.WatchdogStalls)
+	}
+	if c.WatchdogQueue < -1 {
+		return fmt.Errorf("charonsim: WatchdogQueue must be >= -1 (-1 disables, 0 = default), got %d", c.WatchdogQueue)
+	}
+	if c.CheckpointDir != "" && (c.MetricsPath != "" || c.TracePath != "") {
+		return fmt.Errorf("charonsim: CheckpointDir is incompatible with MetricsPath/TracePath (a cached replay executes no simulation, so the metrics and trace would silently undercount)")
+	}
 	if err := c.faultConfig().Validate(); err != nil {
 		// The injector's own checks catch what the public knobs can still
 		// misconfigure in combination — notably a seed with nothing to seed.
@@ -179,20 +232,31 @@ func (c Config) observability() (*metrics.Registry, *metrics.Recorder) {
 }
 
 // sessionFor validates cfg and builds the session plus its observability
-// sinks.
-func sessionFor(cfg Config) (*experiments.Session, *metrics.Registry, *metrics.Recorder, error) {
+// sinks and (when configured) its checkpoint store.
+func sessionFor(ctx context.Context, cfg Config) (*experiments.Session, *metrics.Registry, *metrics.Recorder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, nil, err
 	}
 	reg, rec := cfg.observability()
 	icfg := cfg.toInternal()
+	icfg.Ctx = ctx
 	icfg.Metrics = reg
 	icfg.Trace = rec
+	if cfg.CheckpointDir != "" {
+		st, err := checkpoint.Open(cfg.CheckpointDir)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("charonsim: checkpoint: %w", err)
+		}
+		icfg.Checkpoint = st
+	}
 	return experiments.NewSession(icfg), reg, rec, nil
 }
 
 // writeObservability flushes the collected metrics snapshot and trace to
-// the configured paths.
+// the configured paths. Both files are written atomically (temp file in
+// the destination directory, fsync, rename), so an interrupted or failed
+// flush never leaves a truncated file — the previous snapshot, if any,
+// survives intact.
 func writeObservability(cfg Config, reg *metrics.Registry, rec *metrics.Recorder) error {
 	if reg.Enabled() {
 		if rec.Enabled() {
@@ -200,33 +264,17 @@ func writeObservability(cfg Config, reg *metrics.Registry, rec *metrics.Recorder
 			reg.AddUint("trace/events", uint64(rec.Len()))
 			reg.AddUint("trace/dropped", rec.Dropped())
 		}
-		f, err := os.Create(cfg.MetricsPath)
-		if err != nil {
-			return fmt.Errorf("charonsim: metrics: %w", err)
-		}
 		snap := reg.Snapshot()
+		write := snap.WriteJSON
 		if strings.HasSuffix(cfg.MetricsPath, ".csv") {
-			err = snap.WriteCSV(f)
-		} else {
-			err = snap.WriteJSON(f)
+			write = snap.WriteCSV
 		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := atomicio.WriteFile(cfg.MetricsPath, func(w io.Writer) error { return write(w) }); err != nil {
 			return fmt.Errorf("charonsim: metrics: %w", err)
 		}
 	}
 	if rec.Enabled() {
-		f, err := os.Create(cfg.TracePath)
-		if err != nil {
-			return fmt.Errorf("charonsim: trace: %w", err)
-		}
-		err = rec.WriteJSON(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
+		if err := atomicio.WriteFile(cfg.TracePath, func(w io.Writer) error { return rec.WriteJSON(w) }); err != nil {
 			return fmt.Errorf("charonsim: trace: %w", err)
 		}
 	}
@@ -419,19 +467,51 @@ func Experiments() []string {
 	return ids
 }
 
+// recoverInvariant is the public API's panic boundary: deferred at every
+// entry point that executes simulation code, it converts an internal
+// invariant panic into an error carrying the run descriptor. A watchdog
+// abort (sim.Aborted) keeps its structured error so errors.Is against
+// ErrNoProgress or context.Canceled works; anything else wraps
+// ErrInternal with the panic value and stack.
+func recoverInvariant(err *error, desc string) {
+	if r := recover(); r != nil {
+		if ab, ok := r.(sim.Aborted); ok {
+			*err = fmt.Errorf("charonsim: %s aborted: %w", desc, ab.Err)
+			return
+		}
+		*err = fmt.Errorf("charonsim: %s: %w: %v\n%s", desc, ErrInternal, r, debug.Stack())
+	}
+}
+
+// runRecovered executes one experiment body behind the panic boundary.
+func runRecovered(id string, fn func() (string, error)) (text string, err error) {
+	defer recoverInvariant(&err, "experiment "+id)
+	return fn()
+}
+
 // Run executes one experiment by id ("fig2", "fig4a", "fig4b", "fig12" ...
 // "fig17", "table1" ... "table4", "thermal").
 func Run(id string, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), id, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: cancelling ctx stops
+// dispatching new simulation units at event-loop granularity and the call
+// returns an error wrapping ctx.Err().
+func RunContext(ctx context.Context, id string, cfg Config) (*Report, error) {
 	e, ok := experimentTable[id]
 	if !ok {
 		return nil, fmt.Errorf("charonsim: unknown experiment %q (have %v)", id, Experiments())
 	}
-	s, reg, rec, err := sessionFor(cfg)
+	s, reg, rec, err := sessionFor(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
-	text, err := e.run(s)
+	text, err := runRecovered(id, func() (string, error) { return e.run(s) })
 	if err != nil {
+		// Flush whatever observability the completed units produced; the
+		// run error stays the primary failure.
+		_ = writeObservability(cfg, reg, rec)
 		return nil, err
 	}
 	if err := writeObservability(cfg, reg, rec); err != nil {
@@ -447,7 +527,16 @@ func Run(id string, cfg Config) (*Report, error) {
 // byte-identical at every parallelism level; on error, the reports for
 // experiments ordered before the first failing one are still returned.
 func RunAll(cfg Config) ([]*Report, error) {
-	s, reg, rec, err := sessionFor(cfg)
+	return RunAllContext(context.Background(), cfg)
+}
+
+// RunAllContext is RunAll with cooperative cancellation. On cancellation
+// (SIGINT via signal.NotifyContext, say) no new experiment or simulation
+// unit is dispatched, the reports completed so far come back as a partial
+// prefix, collected observability is still flushed, and the returned
+// error wraps ctx.Err().
+func RunAllContext(ctx context.Context, cfg Config) ([]*Report, error) {
+	s, reg, rec, err := sessionFor(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -456,7 +545,7 @@ func RunAll(cfg Config) ([]*Report, error) {
 	errs := make([]error, len(ids))
 	runOne := func(i int) error {
 		e := experimentTable[ids[i]]
-		text, err := e.run(s)
+		text, err := runRecovered(ids[i], func() (string, error) { return e.run(s) })
 		if err != nil {
 			errs[i] = err
 			return err
@@ -467,18 +556,31 @@ func RunAll(cfg Config) ([]*Report, error) {
 	// The experiments themselves fan out too (bounded by the same
 	// parallelism the per-experiment loops use), so wide hosts stay busy
 	// even while the longest single experiment is still running.
-	experiments.ForEach(s.Config().Parallelism, len(ids), runOne)
+	poolErr := experiments.ForEachCtx(ctx, s.Config().Parallelism, len(ids), runOne)
 	var out []*Report
+	var firstErr error
 	for i, id := range ids {
 		if errs[i] != nil {
-			return out, fmt.Errorf("%s: %w", id, errs[i])
+			firstErr = fmt.Errorf("%s: %w", id, errs[i])
+			break
+		}
+		if reports[i] == nil {
+			// Never dispatched — the sweep was cancelled (or a serial run
+			// stopped early); the pool's error says why.
+			firstErr = poolErr
+			break
 		}
 		out = append(out, reports[i])
 	}
-	if err := writeObservability(cfg, reg, rec); err != nil {
-		return out, err
+	if firstErr == nil {
+		firstErr = poolErr
 	}
-	return out, nil
+	// Flush whatever the completed prefix produced even on a partial
+	// sweep; a flush failure only surfaces when the run itself succeeded.
+	if werr := writeObservability(cfg, reg, rec); werr != nil && firstErr == nil {
+		firstErr = werr
+	}
+	return out, firstErr
 }
 
 // GCStats summarizes one workload's garbage collection on one platform.
@@ -518,7 +620,8 @@ func (g *GCStats) Overhead() float64 {
 
 // SimulateGC runs one workload at the given heap factor, replays its GC
 // log on the chosen platform, and returns aggregate statistics.
-func SimulateGC(name string, factor float64, p Platform, threads int) (*GCStats, error) {
+func SimulateGC(name string, factor float64, p Platform, threads int) (st *GCStats, err error) {
+	defer recoverInvariant(&err, fmt.Sprintf("SimulateGC(%s, %s)", name, p))
 	kind, err := p.kind()
 	if err != nil {
 		return nil, err
@@ -537,10 +640,13 @@ func SimulateGC(name string, factor float64, p Platform, threads int) (*GCStats,
 	if err != nil {
 		return nil, err
 	}
-	results := s.Replay(run, kind, threads)
+	results, err := s.Replay(run, kind, threads)
+	if err != nil {
+		return nil, err
+	}
 	tot := experiments.Sum(kind, results, threads)
 
-	st := &GCStats{
+	st = &GCStats{
 		Workload: name, Platform: p, HeapFactor: factor, Threads: threads,
 		TotalPause:   simToDuration(tot.Duration),
 		MutatorTime:  simToDuration(run.MutTime),
@@ -581,7 +687,8 @@ type GCEvent struct {
 
 // SimulateGCEvents is SimulateGC with per-collection detail: one entry
 // per GC event, in order, with its simulated pause on the chosen platform.
-func SimulateGCEvents(name string, factor float64, p Platform, threads int) ([]GCEvent, error) {
+func SimulateGCEvents(name string, factor float64, p Platform, threads int) (evs []GCEvent, err error) {
+	defer recoverInvariant(&err, fmt.Sprintf("SimulateGCEvents(%s, %s)", name, p))
 	kind, err := p.kind()
 	if err != nil {
 		return nil, err
@@ -600,7 +707,10 @@ func SimulateGCEvents(name string, factor float64, p Platform, threads int) ([]G
 	if err != nil {
 		return nil, err
 	}
-	results := s.Replay(run, kind, threads)
+	results, err := s.Replay(run, kind, threads)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]GCEvent, 0, len(results))
 	for i, r := range results {
 		ev := run.Col.Log[i]

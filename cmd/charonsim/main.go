@@ -9,82 +9,22 @@
 //	charonsim -exp all -threads 8 -factor 1.5
 //	charonsim -exp all -parallel 8      # fan simulations out over 8 workers
 //	charonsim -exp faults -fault-rate 0.01 -fault-seed 7
+//	charonsim -exp fig12 -checkpoint-dir .ckpt   # crash-safe, resumable
 //	charonsim -list
 //
 // Output is byte-identical at every -parallel setting; only the wall
-// clock changes.
+// clock changes. SIGINT/SIGTERM stop the sweep cleanly: completed
+// reports are printed, checkpoints (if enabled) stay intact, and the
+// process exits with code 3. See internal/cli for the full exit-code
+// contract.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strings"
-	"time"
 
-	"charonsim"
+	"charonsim/internal/cli"
 )
 
 func main() {
-	var (
-		exp         = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		threads     = flag.Int("threads", 8, "GC thread count")
-		factor      = flag.Float64("factor", 1.5, "heap overprovisioning factor (1.0 = minimum heap)")
-		workloads   = flag.String("workloads", "", "comma-separated workload subset (default: all six)")
-		parallel    = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, -1 = serial); output is identical at any setting")
-		list        = flag.Bool("list", false, "list experiments and workloads, then exit")
-		metricsPath = flag.String("metrics", "", "write a component-counter snapshot here after the run (.csv = CSV, otherwise JSON)")
-		tracePath   = flag.String("trace", "", "write a chrome://tracing JSON event trace here (JSON only; requires -metrics)")
-		faultRate   = flag.Float64("fault-rate", 0, "master fault-injection rate in [0, 1): link CRC errors plus derived ECC/bank/unit fault rates (0 = faults off)")
-		faultSeed   = flag.Int64("fault-seed", 0, "deterministic fault pattern seed (requires a nonzero -fault-rate or -offload-deadline)")
-		deadline    = flag.Duration("offload-deadline", 0, "Charon offload watchdog: offloads exceeding this re-run on the host cores (0 = off)")
-		runTimeout  = flag.Duration("run-timeout", 0, "wall-clock budget per simulation run in the worker pool (0 = unbounded)")
-	)
-	flag.Parse()
-
-	if *list {
-		fmt.Println("experiments:")
-		for _, id := range charonsim.Experiments() {
-			fmt.Printf("  %s\n", id)
-		}
-		fmt.Println("workloads:")
-		for _, w := range charonsim.Workloads() {
-			info, _ := charonsim.DescribeWorkload(w)
-			fmt.Printf("  %-4s %-28s %-9s paper heap %s\n", w, info.Long, info.Framework, info.PaperHeap)
-		}
-		return
-	}
-
-	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor, Parallelism: *parallel,
-		MetricsPath: *metricsPath, TracePath: *tracePath,
-		FaultRate: *faultRate, FaultSeed: *faultSeed,
-		OffloadDeadline: *deadline, RunTimeout: *runTimeout}
-	if *workloads != "" {
-		cfg.Workloads = strings.Split(*workloads, ",")
-	}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	start := time.Now()
-	var reports []*charonsim.Report
-	var err error
-	if *exp == "all" {
-		reports, err = charonsim.RunAll(cfg)
-	} else {
-		var r *charonsim.Report
-		r, err = charonsim.Run(*exp, cfg)
-		if r != nil {
-			reports = append(reports, r)
-		}
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	for _, r := range reports {
-		fmt.Printf("== %s: %s ==\n%s\n", r.ID, r.Title, r.Text)
-	}
-	fmt.Printf("(%d experiment(s) in %.1fs)\n", len(reports), time.Since(start).Seconds())
+	os.Exit(cli.Run(os.Args[1:], os.Stdout, os.Stderr))
 }

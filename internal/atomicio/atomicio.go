@@ -1,0 +1,56 @@
+// Package atomicio provides crash-safe file output: a writer that lands
+// its bytes in a same-directory temp file and renames it into place only
+// after a successful write and sync. A process killed mid-write — the
+// failure mode of an interrupted sweep flushing metrics, traces, or
+// checkpoint entries — leaves either the previous complete file or no
+// file, never a truncated one.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with whatever write produces. The
+// temp file lives in path's directory so the final rename stays on one
+// filesystem (rename is only atomic within a filesystem). If write or any
+// I/O step fails, the target is left untouched and the temp file removed.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicio: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicio: writing %s: %w", path, err)
+	}
+	// Sync before rename: otherwise a crash shortly after could publish a
+	// file whose data blocks never reached the disk.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicio: publish %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteFileBytes is WriteFile for a ready byte slice.
+func WriteFileBytes(path string, data []byte) error {
+	return WriteFile(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

@@ -1,0 +1,94 @@
+package atomicio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func listDir(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileBytes(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileBytes(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("read %q, %v; want v2", got, err)
+	}
+	if names := listDir(t, dir); len(names) != 1 {
+		t.Fatalf("leftover temp files: %v", names)
+	}
+}
+
+// TestWriteFileMidWriteFailure simulates a write that dies halfway through
+// (the moral equivalent of a SIGKILL mid-flush): the previous complete
+// file must survive untouched and no temp debris may remain.
+func TestWriteFileMidWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.json")
+	if err := WriteFileBytes(path, []byte(`{"complete":true}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk on fire")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, `{"compl`); err != nil { // partial write...
+			return err
+		}
+		return boom // ...then the failure
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != `{"complete":true}` {
+		t.Fatalf("target corrupted: %q, %v", got, rerr)
+	}
+	for _, name := range listDir(t, dir) {
+		if strings.Contains(name, ".tmp-") {
+			t.Fatalf("temp file %s left behind", name)
+		}
+	}
+}
+
+func TestWriteFileNewFileFailureLeavesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	err := WriteFile(path, func(io.Writer) error { return errors.New("nope") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("failed write published a file: %v", serr)
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Fatalf("debris: %v", names)
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	if err := WriteFileBytes(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}

@@ -1,0 +1,182 @@
+// Package checkpoint is a content-addressed, crash-safe result store that
+// makes long experiment sweeps resumable: each completed simulation unit
+// is persisted under the hash of its fully-resolved run descriptor, so an
+// interrupted sweep re-run against the same directory replays the cached
+// units byte-identically and executes only the missing ones.
+//
+// Crash safety comes from three properties:
+//
+//   - entries are written via a same-directory temp file + rename, so a
+//     kill mid-write never publishes a truncated entry;
+//   - every entry embeds a checksum of its payload and the full canonical
+//     key text; Get verifies both (plus the schema version) and discards —
+//     deletes — anything that fails, treating it as a miss;
+//   - keys hash the complete run configuration (workload, platform,
+//     threads, fault and parallelism knobs), so a sweep re-run with any
+//     knob changed misses cleanly instead of replaying stale results.
+package checkpoint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"charonsim/internal/atomicio"
+)
+
+// Version is the entry schema version; entries written by a different
+// version are discarded on read.
+const Version = 1
+
+// suffix marks store entries; anything else in the directory is ignored.
+const suffix = ".ckpt.json"
+
+// Store is a directory-backed checkpoint store. All methods are safe for
+// concurrent use: entries are immutable once published, and concurrent
+// writers of the same key publish identical content (the store only ever
+// holds deterministic results), so rename races are benign.
+type Store struct {
+	dir string
+
+	hits, misses, discards, writeErrs atomic.Uint64
+}
+
+// Open creates (if needed) and opens a checkpoint directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("checkpoint: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+// entry is the on-disk envelope.
+type entry struct {
+	Version  int             `json:"version"`
+	Key      string          `json:"key"`
+	Checksum string          `json:"checksum_sha256"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+// pathFor content-addresses a canonical key string.
+func (s *Store) pathFor(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])[:32]+suffix)
+}
+
+func payloadChecksum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns the payload stored for key. A missing, corrupt, truncated,
+// key-mismatched, or version-mismatched entry is a miss; invalid entries
+// are deleted so they are rebuilt rather than re-probed forever.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	path := s.pathFor(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil ||
+		e.Version != Version ||
+		e.Key != key ||
+		e.Checksum != payloadChecksum(e.Payload) {
+		os.Remove(path)
+		s.discards.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e.Payload, true
+}
+
+// Put persists payload under key atomically. Store I/O must never fail a
+// sweep, so errors are counted (see Stats) and reported to the caller but
+// are safe to ignore: a failed Put just means that unit re-executes on
+// resume.
+func (s *Store) Put(key string, payload json.RawMessage) error {
+	if s == nil {
+		return nil
+	}
+	data, err := json.Marshal(entry{
+		Version: Version, Key: key,
+		Checksum: payloadChecksum(payload), Payload: payload,
+	})
+	if err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("checkpoint: encode %q: %w", key, err)
+	}
+	if err := atomicio.WriteFileBytes(s.pathFor(key), data); err != nil {
+		s.writeErrs.Add(1)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Stats reports the store's counters: served hits, misses, discarded
+// invalid entries, and write errors.
+func (s *Store) Stats() (hits, misses, discards, writeErrs uint64) {
+	if s == nil {
+		return 0, 0, 0, 0
+	}
+	return s.hits.Load(), s.misses.Load(), s.discards.Load(), s.writeErrs.Load()
+}
+
+// Len counts the entries currently on disk (validity not checked).
+func (s *Store) Len() (int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), suffix) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Verify scans every entry on disk, deletes the invalid ones, and returns
+// (valid, discarded). The resume path does not need it — Get self-heals —
+// but crash tests and operators use it to assert a directory is clean.
+func (s *Store) Verify() (valid, discarded int, err error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("checkpoint: %w", err)
+	}
+	for _, de := range ents {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), suffix) {
+			continue
+		}
+		path := filepath.Join(s.dir, de.Name())
+		raw, rerr := os.ReadFile(path)
+		var e entry
+		if rerr != nil || json.Unmarshal(raw, &e) != nil ||
+			e.Version != Version ||
+			e.Checksum != payloadChecksum(e.Payload) ||
+			s.pathFor(e.Key) != path {
+			os.Remove(path)
+			discarded++
+			continue
+		}
+		valid++
+	}
+	return valid, discarded, nil
+}

@@ -1,0 +1,176 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	payload := json.RawMessage(`{"duration":12345,"bytes":99}`)
+	if err := s.Put("run|wl=BS|platform=Charon", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("run|wl=BS|platform=Charon")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := s.Get("run|wl=BS|platform=DDR4"); ok {
+		t.Fatal("different key must miss")
+	}
+	hits, misses, discards, werrs := s.Stats()
+	if hits != 1 || misses != 1 || discards != 0 || werrs != 0 {
+		t.Fatalf("stats = %d/%d/%d/%d", hits, misses, discards, werrs)
+	}
+}
+
+func TestReopenSeesEntries(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put("k", json.RawMessage(`[1,2,3]`)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("k"); !ok || string(got) != "[1,2,3]" {
+		t.Fatalf("reopen Get = %q, %v", got, ok)
+	}
+}
+
+// corrupt finds the single entry file in the store and rewrites it.
+func corrupt(t *testing.T, s *Store, mutate func([]byte) []byte) string {
+	t.Helper()
+	ents, err := os.ReadDir(s.Dir())
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("want exactly one entry, got %d (%v)", len(ents), err)
+	}
+	path := filepath.Join(s.Dir(), ents[0].Name())
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(raw), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTruncatedEntryIsDiscarded(t *testing.T) {
+	s := open(t)
+	if err := s.Put("k", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := corrupt(t, s, func(raw []byte) []byte { return raw[:len(raw)/2] })
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("truncated entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("invalid entry not deleted")
+	}
+	if _, _, discards, _ := s.Stats(); discards != 1 {
+		t.Fatalf("discards = %d, want 1", discards)
+	}
+}
+
+func TestChecksumMismatchIsDiscarded(t *testing.T) {
+	s := open(t)
+	if err := s.Put("k", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, s, func(raw []byte) []byte {
+		return []byte(strings.Replace(string(raw), `{"v":1}`, `{"v":2}`, 1))
+	})
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("payload-tampered entry served despite checksum")
+	}
+}
+
+func TestVersionMismatchIsDiscarded(t *testing.T) {
+	s := open(t)
+	if err := s.Put("k", json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, s, func(raw []byte) []byte {
+		return []byte(strings.Replace(string(raw), `"version":1`, `"version":999`, 1))
+	})
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("version-mismatched entry served")
+	}
+}
+
+func TestKeyCollisionFileIsDiscarded(t *testing.T) {
+	// An entry whose embedded key does not hash to its own filename (a
+	// copied/renamed file) must not be served for the probed key.
+	s := open(t)
+	if err := s.Put("orig", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(s.Dir())
+	raw, _ := os.ReadFile(filepath.Join(s.Dir(), ents[0].Name()))
+	// Drop the same envelope at a different key's address.
+	if err := os.WriteFile(s.pathFor("other"), raw, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("other"); ok {
+		t.Fatal("entry served under a key it was not written for")
+	}
+}
+
+func TestVerifyCleansDirectory(t *testing.T) {
+	s := open(t)
+	for _, k := range []string{"a", "b", "c"} {
+		if err := s.Put(k, json.RawMessage(`{"k":"`+k+`"}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One truncated entry + one foreign file the store must ignore.
+	ents, _ := os.ReadDir(s.Dir())
+	path := filepath.Join(s.Dir(), ents[0].Name())
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, raw[:10], 0o666)
+	os.WriteFile(filepath.Join(s.Dir(), "README"), []byte("not an entry"), 0o666)
+
+	valid, discarded, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != 2 || discarded != 1 {
+		t.Fatalf("Verify = %d valid, %d discarded; want 2, 1", valid, discarded)
+	}
+	if n, err := s.Len(); err != nil || n != 2 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put("k", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("want error")
+	}
+}

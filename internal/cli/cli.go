@@ -1,0 +1,142 @@
+// Package cli implements the charonsim command: flag parsing, signal
+// handling, and the exit-code contract. It lives behind the thin
+// cmd/charonsim/main.go shim so the whole command — including SIGINT
+// behaviour and the partial-sweep report — is testable in-process and as
+// a subprocess.
+//
+// Exit codes:
+//
+//	0  success
+//	1  run failure (a simulation unit errored or wedged)
+//	2  configuration error (flag or Config validation)
+//	3  interrupted — SIGINT/SIGTERM cancelled the sweep; completed
+//	   reports were printed and checkpoints (if enabled) are intact
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"charonsim"
+	"charonsim/internal/atomicio"
+	"charonsim/internal/sim"
+)
+
+// Run executes the command with the given arguments (excluding the
+// program name) and returns the process exit code.
+func Run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("charonsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		exp            = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		threads        = fs.Int("threads", 8, "GC thread count")
+		factor         = fs.Float64("factor", 1.5, "heap overprovisioning factor (1.0 = minimum heap)")
+		workloads      = fs.String("workloads", "", "comma-separated workload subset (default: all six)")
+		parallel       = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, -1 = serial); output is identical at any setting")
+		list           = fs.Bool("list", false, "list experiments and workloads, then exit")
+		metricsPath    = fs.String("metrics", "", "write a component-counter snapshot here after the run (.csv = CSV, otherwise JSON)")
+		tracePath      = fs.String("trace", "", "write a chrome://tracing JSON event trace here (JSON only; requires -metrics)")
+		faultRate      = fs.Float64("fault-rate", 0, "master fault-injection rate in [0, 1): link CRC errors plus derived ECC/bank/unit fault rates (0 = faults off)")
+		faultSeed      = fs.Int64("fault-seed", 0, "deterministic fault pattern seed (requires a nonzero -fault-rate or -offload-deadline)")
+		deadline       = fs.Duration("offload-deadline", 0, "Charon offload watchdog: offloads exceeding this re-run on the host cores (0 = off)")
+		runTimeout     = fs.Duration("run-timeout", 0, "wall-clock budget per simulation run; also arms the engine watchdog heartbeat (0 = unbounded)")
+		checkpointDir  = fs.String("checkpoint-dir", "", "persist each completed replay unit here; re-running after an interruption resumes, executing only the missing units (incompatible with -metrics/-trace)")
+		watchdogStalls = fs.Int("watchdog-stalls", 0, "engine watchdog: consecutive zero-advance steps before a run is declared wedged (0 = default, -1 = disable)")
+		watchdogQueue  = fs.Int("watchdog-queue", 0, "engine watchdog: event-queue depth bound (0 = default, -1 = disable)")
+		dumpPath       = fs.String("watchdog-dump", "", "on a watchdog abort, write the diagnostic dump to this file as well as stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, "experiments:")
+		for _, id := range charonsim.Experiments() {
+			fmt.Fprintf(stdout, "  %s\n", id)
+		}
+		fmt.Fprintln(stdout, "workloads:")
+		for _, w := range charonsim.Workloads() {
+			info, _ := charonsim.DescribeWorkload(w)
+			fmt.Fprintf(stdout, "  %-4s %-28s %-9s paper heap %s\n", w, info.Long, info.Framework, info.PaperHeap)
+		}
+		return 0
+	}
+
+	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor, Parallelism: *parallel,
+		MetricsPath: *metricsPath, TracePath: *tracePath,
+		FaultRate: *faultRate, FaultSeed: *faultSeed,
+		OffloadDeadline: *deadline, RunTimeout: *runTimeout,
+		CheckpointDir:  *checkpointDir,
+		WatchdogStalls: *watchdogStalls, WatchdogQueue: *watchdogQueue}
+	if *workloads != "" {
+		cfg.Workloads = strings.Split(*workloads, ",")
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	// SIGINT/SIGTERM cancel the context; the harness stops dispatching
+	// simulation units, flushes what completed, and we print the partial
+	// report below. A second signal kills the process the default way
+	// (signal.NotifyContext unregisters on the first).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	var reports []*charonsim.Report
+	var err error
+	if *exp == "all" {
+		reports, err = charonsim.RunAllContext(ctx, cfg)
+	} else {
+		var r *charonsim.Report
+		r, err = charonsim.RunContext(ctx, *exp, cfg)
+		if r != nil {
+			reports = append(reports, r)
+		}
+	}
+	for _, r := range reports {
+		fmt.Fprintf(stdout, "== %s: %s ==\n%s\n", r.ID, r.Title, r.Text)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		var np *sim.NoProgressError
+		if errors.As(err, &np) && *dumpPath != "" {
+			writeDump(stderr, *dumpPath, np)
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(stderr, "interrupted: %d experiment(s) completed in %.1fs", len(reports), time.Since(start).Seconds())
+			if cfg.CheckpointDir != "" {
+				fmt.Fprintf(stderr, "; finished units are checkpointed in %s — re-run the same command to resume", cfg.CheckpointDir)
+			}
+			fmt.Fprintln(stderr)
+			return 3
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "(%d experiment(s) in %.1fs)\n", len(reports), time.Since(start).Seconds())
+	return 0
+}
+
+// writeDump persists a watchdog diagnostic dump (atomically, so a partial
+// dump never masquerades as a full one). Failures are reported but do not
+// change the exit code — the dump is an aid, not a deliverable.
+func writeDump(stderr io.Writer, path string, np *sim.NoProgressError) {
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		_, werr := fmt.Fprintf(w, "charonsim watchdog abort: %s\n%s\n", np.Reason, np.Diag.String())
+		return werr
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "writing watchdog dump: %v\n", err)
+		return
+	}
+	fmt.Fprintf(stderr, "watchdog diagnostics written to %s\n", path)
+}

@@ -1,0 +1,166 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"charonsim/internal/checkpoint"
+)
+
+// TestHelperProcess re-enters the CLI inside the test binary so the
+// signal tests can exercise a real process receiving a real SIGINT.
+// Guarded by an env var: it is inert during a normal test run.
+func TestHelperProcess(t *testing.T) {
+	if os.Getenv("CHARONSIM_CLI_HELPER") != "1" {
+		t.Skip("not a helper invocation")
+	}
+	args := strings.Split(os.Getenv("CHARONSIM_CLI_ARGS"), "\x1f")
+	os.Exit(Run(args, os.Stdout, os.Stderr))
+}
+
+func TestExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "fig12") {
+		t.Fatalf("-list output missing experiments:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Run([]string{"-threads", "-3"}, &out, &errb); code != 2 {
+		t.Fatalf("invalid config exited %d, want 2 (stderr: %s)", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Run([]string{"-exp", "nope"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown experiment exited %d, want 1", code)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Run([]string{"-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Run([]string{"-exp", "table4"}, &out, &errb); code != 0 {
+		t.Fatalf("table4 exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "== table4") {
+		t.Fatalf("table4 output missing report header:\n%s", out.String())
+	}
+}
+
+func TestCheckpointRejectsObservability(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := Run([]string{"-exp", "table4", "-checkpoint-dir", t.TempDir(),
+		"-metrics", filepath.Join(t.TempDir(), "m.json")}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("checkpoint+metrics exited %d, want 2", code)
+	}
+}
+
+// reportText strips the trailing wall-clock line, the only
+// non-deterministic part of the CLI output.
+func reportText(s string) string {
+	lines := strings.Split(s, "\n")
+	var keep []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "(") && strings.Contains(l, "experiment(s) in") {
+			continue
+		}
+		keep = append(keep, l)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestSigintResumesByteIdentical is the end-to-end crash-safety test:
+// run a sweep in a subprocess with checkpointing on, SIGINT it once the
+// first checkpoint entry lands, and assert (1) the clean partial exit
+// code, (2) an uncorrupted checkpoint directory, and (3) that resuming
+// from it produces output byte-identical to an uninterrupted run.
+func TestSigintResumesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess sweep is slow")
+	}
+	ckptDir := t.TempDir()
+	// Serial on purpose: dispatch stops at the first ctx check, so an
+	// early signal is guaranteed to leave undone work behind to resume.
+	args := []string{"-exp", "fig2", "-workloads", "BS", "-parallel", "1",
+		"-checkpoint-dir", ckptDir}
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcess$")
+	cmd.Env = append(os.Environ(), "CHARONSIM_CLI_HELPER=1",
+		"CHARONSIM_CLI_ARGS="+strings.Join(args, "\x1f"))
+	var sub bytes.Buffer
+	cmd.Stdout = &sub
+	cmd.Stderr = &sub
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killer := time.AfterFunc(2*time.Minute, func() { cmd.Process.Kill() })
+	defer killer.Stop()
+
+	// Wait for the first persisted unit, then interrupt.
+	deadline := time.Now().Add(90 * time.Second)
+	for {
+		ents, _ := filepath.Glob(filepath.Join(ckptDir, "*.ckpt.json"))
+		if len(ents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint entry appeared; subprocess output:\n%s", sub.String())
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	code := cmd.ProcessState.ExitCode()
+	if code != 3 {
+		t.Fatalf("interrupted sweep exited %d (err %v), want 3; output:\n%s", code, err, sub.String())
+	}
+	if !strings.Contains(sub.String(), "interrupted") {
+		t.Fatalf("no partial-sweep report on stderr:\n%s", sub.String())
+	}
+
+	// The interrupted directory must hold only complete, valid entries.
+	st, err := checkpoint.Open(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, discarded, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid == 0 || discarded != 0 {
+		t.Fatalf("Verify after SIGINT = %d valid, %d discarded; want >0, 0", valid, discarded)
+	}
+
+	// Resume in-process over the same directory: must finish cleanly...
+	var resumed, errb bytes.Buffer
+	if code := Run(args, &resumed, &errb); code != 0 {
+		t.Fatalf("resume exited %d: %s", code, errb.String())
+	}
+	// ...and match an uninterrupted run byte for byte.
+	golden := bytes.Buffer{}
+	goldenArgs := []string{"-exp", "fig2", "-workloads", "BS", "-parallel", "1",
+		"-checkpoint-dir", t.TempDir()}
+	if code := Run(goldenArgs, &golden, &errb); code != 0 {
+		t.Fatalf("golden run exited %d: %s", code, errb.String())
+	}
+	if got, want := reportText(resumed.String()), reportText(golden.String()); got != want {
+		t.Fatalf("resumed output diverged from uninterrupted run:\n--- resumed ---\n%s\n--- golden ---\n%s", got, want)
+	}
+}

@@ -46,6 +46,16 @@ func record(t testing.TB, heapBytes uint64) ([]*gc.Event, Env) {
 	return c.Log, EnvFor(c)
 }
 
+// mustOpt is NewWithOptions for tests: any construction error is fatal.
+func mustOpt(t testing.TB, kind Kind, env Env, threads int, opt Options) Platform {
+	t.Helper()
+	p, err := NewWithOptions(kind, env, threads, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // replayAll sums durations over all events.
 func replayAll(p Platform, evs []*gc.Event, threads int) (total sim.Time, prim [gc.NumPrims]sim.Time, last Result) {
 	for _, ev := range evs {
@@ -223,7 +233,7 @@ func TestThreadPartitionCoversAllInvocations(t *testing.T) {
 	evs, env := record(t, 4<<20)
 	ev := evs[0]
 	seen := 0
-	runThreads(0, ev, 3, func(thread int, inv *gc.Invocation) stepper {
+	runThreads(0, ev, 3, nil, nil, func(thread int, inv *gc.Invocation) stepper {
 		return oneShot(func(tm sim.Time) sim.Time {
 			seen++
 			return tm + 1
@@ -255,7 +265,7 @@ func TestNewWithOptionsFillsDefaults(t *testing.T) {
 	// A partial config (only MAI set) must still work with all other
 	// fields defaulted.
 	cfg := charon.Config{MAIEntries: 8}
-	p := NewWithOptions(KindCharon, env, 8, Options{CharonConfig: &cfg})
+	p := mustOpt(t, KindCharon, env, 8, Options{CharonConfig: &cfg})
 	r := p.Replay(evs[0], 8)
 	if r.Duration == 0 {
 		t.Fatal("no duration with partial config")
@@ -270,8 +280,8 @@ func TestNewWithOptionsFillsDefaults(t *testing.T) {
 
 func TestTopologyOptionAffectsCharon(t *testing.T) {
 	evs, env := record(t, 8<<20)
-	star, _, _ := replayAll(NewWithOptions(KindCharon, env, 8, Options{Topology: hmc.Star}), evs, 8)
-	chain, _, _ := replayAll(NewWithOptions(KindCharon, env, 8, Options{Topology: hmc.Chain}), evs, 8)
+	star, _, _ := replayAll(mustOpt(t, KindCharon, env, 8, Options{Topology: hmc.Star}), evs, 8)
+	chain, _, _ := replayAll(mustOpt(t, KindCharon, env, 8, Options{Topology: hmc.Chain}), evs, 8)
 	if star == chain {
 		t.Fatal("topology had no effect at all")
 	}

@@ -62,7 +62,7 @@ func TestAllUnitsFailedMatchesHostBaseline(t *testing.T) {
 	evs, env := record(t, 4<<20)
 	for _, nthreads := range []int{1, 8} {
 		host := New(KindHMC, env, nthreads)
-		dead := NewWithOptions(KindCharon, env, nthreads,
+		dead := mustOpt(t, KindCharon, env, nthreads,
 			Options{Fault: &fault.Config{FailAllUnits: true, Seed: 1}})
 
 		var offloadable uint64
@@ -99,7 +99,7 @@ func TestAllUnitsFailedMatchesHostBaseline(t *testing.T) {
 func TestHealthyFaultConfigIsByteIdentical(t *testing.T) {
 	evs, env := record(t, 4<<20)
 	plain := New(KindCharon, env, 8)
-	armed := NewWithOptions(KindCharon, env, 8,
+	armed := mustOpt(t, KindCharon, env, 8,
 		Options{Fault: &fault.Config{OffloadDeadline: sim.Second}})
 	for i, ev := range evs {
 		a := plain.Replay(ev, 8)
@@ -115,7 +115,7 @@ func TestHealthyFaultConfigIsByteIdentical(t *testing.T) {
 // issue+deadline+host-fallback time, and degradation events are recorded.
 func TestDeadlineFallbackBoundsOffloads(t *testing.T) {
 	evs, env := record(t, 4<<20)
-	p := NewWithOptions(KindCharon, env, 8,
+	p := mustOpt(t, KindCharon, env, 8,
 		Options{Fault: &fault.Config{OffloadDeadline: 50 * sim.Nanosecond}})
 	for _, ev := range evs {
 		p.Replay(ev, 8)
@@ -135,7 +135,7 @@ func TestDeadlineFallbackBoundsOffloads(t *testing.T) {
 func TestFaultRatesSlowGC(t *testing.T) {
 	evs, env := record(t, 4<<20)
 	healthy := New(KindCharon, env, 8)
-	faulty := NewWithOptions(KindCharon, env, 8,
+	faulty := mustOpt(t, KindCharon, env, 8,
 		Options{Fault: &fault.Config{Rate: 0.2, Seed: 7}})
 	var h, f sim.Time
 	for _, ev := range evs {

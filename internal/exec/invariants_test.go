@@ -12,7 +12,7 @@ import (
 func collectAfterReplay(t *testing.T, kind Kind, heapBytes uint64, opt Options) metrics.Snapshot {
 	t.Helper()
 	evs, env := record(t, heapBytes)
-	p := NewWithOptions(kind, env, 8, opt)
+	p := mustOpt(t, kind, env, 8, opt)
 	for _, ev := range evs {
 		p.Replay(ev, 8)
 	}
@@ -145,7 +145,7 @@ func TestCollectMetricsDisabledIsNoop(t *testing.T) {
 func TestTraceRecorderCapturesSpans(t *testing.T) {
 	evs, env := record(t, 4<<20)
 	rec := metrics.NewRecorder(0)
-	p := NewWithOptions(KindCharon, env, 8, Options{Trace: rec})
+	p := mustOpt(t, KindCharon, env, 8, Options{Trace: rec})
 	for _, ev := range evs {
 		p.Replay(ev, 8)
 	}

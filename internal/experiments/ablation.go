@@ -65,7 +65,10 @@ func runAblation(s *Session, name string, points []AblationPoint, def int) (*Abl
 		if err != nil {
 			return err
 		}
-		p := s.NewPlatform(exec.KindCharon, run.Env, cfg.Threads, points[pi].Opt)
+		p, err := s.NewPlatform(exec.KindCharon, run.Env, cfg.Threads, points[pi].Opt)
+		if err != nil {
+			return err
+		}
 		var results []exec.Result
 		for _, ev := range run.Col.Log {
 			results = append(results, p.Replay(ev, cfg.Threads))

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"charonsim/internal/checkpoint"
+	"charonsim/internal/exec"
+	"charonsim/internal/fault"
+)
+
+// resultSchema versions the serialized []exec.Result payload; bump it
+// whenever exec.Result (or anything feeding it) changes shape or timing
+// semantics, so stale sweeps re-execute instead of replaying old numbers.
+const resultSchema = 1
+
+// checkpointStore returns the session's store, or nil when checkpointing
+// is disabled or observability is active: a replay served from cache
+// executes no simulation, so it would contribute nothing to the metrics
+// registry or trace recorder and silently skew their output.
+func (s *Session) checkpointStore() *checkpoint.Store {
+	if s.cfg.Checkpoint == nil || s.cfg.Metrics.Enabled() || s.cfg.Trace != nil {
+		return nil
+	}
+	return s.cfg.Checkpoint
+}
+
+// runKey canonicalizes the fully-resolved configuration of one replay
+// unit. Everything that can change the result is in the key — recording
+// identity (workload, factor, collector mode), platform kind, GC thread
+// count — plus, per the documented conservative-invalidation rule, the
+// knobs that *shouldn't* change results but guard against drift: the
+// complete fault configuration and the session parallelism.
+func (s *Session) runKey(r *Run, kind exec.Kind, threads int, fc fault.Config) string {
+	return fmt.Sprintf(
+		"replay/v%d|wl=%s|factor=%.6g|mode=%v|platform=%s|threads=%d|par=%d|%s",
+		resultSchema, r.Name, r.Factor, r.Mode, kind, threads, s.cfg.Parallelism, faultKey(fc))
+}
+
+// faultKey canonicalizes every fault knob. Field-by-field (not %+v) so a
+// fault.Config field addition forces a conscious decision here.
+func faultKey(fc fault.Config) string {
+	return fmt.Sprintf(
+		"fault:rate=%.6g,seed=%d,crc=%.6g,budget=%d,backoff=%d,ecc=%.6g,ecclat=%d,bank=%.6g,ufail=%.6g,udeg=%.6g,dfac=%.6g,failall=%t,deadline=%d",
+		fc.Rate, fc.Seed, fc.LinkCRCRate, fc.RetryBudget, uint64(fc.RetryBackoff),
+		fc.ECCRate, uint64(fc.ECCLatency), fc.HardBankRate, fc.UnitFailRate,
+		fc.UnitDegradeRate, fc.DegradeFactor, fc.FailAllUnits, uint64(fc.OffloadDeadline))
+}
+
+// getCachedResults decodes a stored replay. Decode failures are treated
+// as a miss (the entry is deleted so it gets rebuilt) — the store's
+// checksum makes them near-impossible, but a miss is always safe.
+func getCachedResults(st *checkpoint.Store, key string) ([]exec.Result, bool) {
+	payload, ok := st.Get(key)
+	if !ok {
+		return nil, false
+	}
+	var out []exec.Result
+	if err := json.Unmarshal(payload, &out); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+// putCachedResults persists one completed replay. Errors are swallowed by
+// design (counted in the store's stats): checkpointing must never fail a
+// sweep that would otherwise succeed.
+func putCachedResults(st *checkpoint.Store, key string, results []exec.Result) {
+	payload, err := json.Marshal(results)
+	if err != nil {
+		return
+	}
+	_ = st.Put(key, payload)
+}

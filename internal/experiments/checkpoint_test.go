@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"charonsim/internal/checkpoint"
+	"charonsim/internal/exec"
+	"charonsim/internal/fault"
+	"charonsim/internal/metrics"
+	"charonsim/internal/sim"
+)
+
+func newStore(t *testing.T) *checkpoint.Store {
+	t.Helper()
+	st, err := checkpoint.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCheckpointReplayByteIdentity is the resume acceptance criterion at
+// the session level: a replay served from the checkpoint store is exactly
+// equal — field for field, including float64 values round-tripped through
+// JSON — to the live simulation it cached.
+func TestCheckpointReplayByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live := NewSession(Config{Workloads: []string{"BS"}})
+	r, err := live.Record("BS", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := live.Replay(r, exec.KindCharon, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First checkpointed session: miss, simulate, persist.
+	s1 := NewSession(Config{Workloads: []string{"BS"}, Checkpoint: st1})
+	r1, err := s1.Record("BS", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := s1.Replay(r1, exec.KindCharon, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _, _ := st1.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("first run stats: %d hits, %d misses; want 0, 1", hits, misses)
+	}
+
+	// Second session over the same directory: pure cache hit, no record
+	// needed for the replay itself.
+	st2, err := checkpoint.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(Config{Workloads: []string{"BS"}, Checkpoint: st2})
+	r2, err := s2.Record("BS", 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := s2.Replay(r2, exec.KindCharon, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _, _ := st2.Stats(); hits != 1 || misses != 0 {
+		t.Fatalf("resume stats: %d hits, %d misses; want 1, 0", hits, misses)
+	}
+
+	for i := range want {
+		if got1[i] != want[i] {
+			t.Fatalf("event %d: checkpointed live run diverged from plain run:\n%+v\nvs\n%+v", i, got1[i], want[i])
+		}
+		if got2[i] != want[i] {
+			t.Fatalf("event %d: cache-served run diverged from plain run:\n%+v\nvs\n%+v", i, got2[i], want[i])
+		}
+	}
+}
+
+// TestCheckpointKeySeparatesConfigurations: different platform kinds,
+// thread counts and fault configs must land on different keys.
+func TestCheckpointKeySeparatesConfigurations(t *testing.T) {
+	s := NewSession(Config{})
+	r := &Run{Name: "BS", Factor: 1.5}
+	base := s.runKey(r, exec.KindCharon, 8, fault.Config{})
+	seen := map[string]string{base: "base"}
+	for label, key := range map[string]string{
+		"platform": s.runKey(r, exec.KindDDR4, 8, fault.Config{}),
+		"threads":  s.runKey(r, exec.KindCharon, 4, fault.Config{}),
+		"fault":    s.runKey(r, exec.KindCharon, 8, fault.Config{Rate: 0.01, Seed: 1}),
+		"factor":   s.runKey(&Run{Name: "BS", Factor: 2.0}, exec.KindCharon, 8, fault.Config{}),
+		"workload": s.runKey(&Run{Name: "ALS", Factor: 1.5}, exec.KindCharon, 8, fault.Config{}),
+	} {
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("key for %q collides with %q: %s", label, prev, key)
+		}
+		seen[key] = label
+	}
+}
+
+// TestCheckpointDisabledWithObservability: a session carrying a metrics
+// registry or trace recorder must bypass the store entirely — cached
+// replays execute no simulation and would skew the counters.
+func TestCheckpointDisabledWithObservability(t *testing.T) {
+	st := newStore(t)
+	for _, cfg := range []Config{
+		{Checkpoint: st, Metrics: metrics.NewRegistry()},
+		{Checkpoint: st, Trace: metrics.NewRecorder(0)},
+	} {
+		if got := NewSession(cfg).checkpointStore(); got != nil {
+			t.Fatalf("checkpointStore() with observability enabled = %v, want nil", got)
+		}
+	}
+	if NewSession(Config{Checkpoint: st}).checkpointStore() != st {
+		t.Fatal("checkpointStore() without observability should return the store")
+	}
+}
+
+// TestSessionContextCancellation: a cancelled session context stops the
+// sweep with an error satisfying errors.Is(err, context.Canceled) and no
+// partial corruption (the error is reported, not panicked).
+func TestSessionContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := NewSession(Config{Workloads: []string{"BS"}, Ctx: ctx})
+	_, err := Fig2(s)
+	if err == nil {
+		t.Fatal("cancelled sweep succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+}
+
+// TestWatchdogAbortConvertsToError: a watchdog abort (sim.Aborted panic)
+// escaping a run inside the worker pool must come back as a structured
+// error satisfying errors.Is(err, sim.ErrNoProgress) — with the
+// diagnostic dump in the message — not as a raw panic with a stack.
+func TestWatchdogAbortConvertsToError(t *testing.T) {
+	np := &sim.NoProgressError{Reason: "test wedge",
+		Diag: sim.Diagnostics{Steps: 42, StallSteps: 42}}
+	for _, par := range []int{1, 4} {
+		err := forEach(par, 2, func(i int) error {
+			if i == 1 {
+				panic(sim.Aborted{Err: np})
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("par=%d: abort swallowed", par)
+		}
+		if !errors.Is(err, sim.ErrNoProgress) {
+			t.Fatalf("par=%d: error %v does not unwrap to sim.ErrNoProgress", par, err)
+		}
+		if !strings.Contains(err.Error(), "test wedge") || !strings.Contains(err.Error(), "stalled steps") {
+			t.Fatalf("par=%d: error %q lost the diagnostic dump", par, err)
+		}
+		if strings.Contains(err.Error(), "goroutine") {
+			t.Fatalf("par=%d: structured abort was treated as a raw panic: %q", par, err)
+		}
+	}
+}
+
+// TestWatchdogWallClockAbortsReplay: the session's RunTimeout arms the
+// engine watchdog heartbeat inside each run, so a wall-clock overrun on a
+// real replay aborts with a structured error (either the heartbeat's
+// ErrNoProgress or the pool timer's timeout, whichever fires first —
+// both are errors, never hangs).
+func TestWatchdogWallClockAbortsReplay(t *testing.T) {
+	s := NewSession(Config{Workloads: []string{"BS"}, RunTimeout: time.Nanosecond})
+	_, err := Fig2(s)
+	if err == nil {
+		t.Fatal("1ns run budget let a full sweep through")
+	}
+	if !errors.Is(err, sim.ErrNoProgress) && !strings.Contains(err.Error(), "run timeout") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}

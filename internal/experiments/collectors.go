@@ -55,8 +55,16 @@ func CollectorStudy(s *Session) (*CollectorStudyResult, error) {
 		if err != nil {
 			return err
 		}
-		base := Sum(exec.KindDDR4, s.Replay(run, exec.KindDDR4, cfg.Threads), cfg.Threads)
-		ch := Sum(exec.KindCharon, s.Replay(run, exec.KindCharon, cfg.Threads), cfg.Threads)
+		baseRes, err := s.Replay(run, exec.KindDDR4, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		chRes, err := s.Replay(run, exec.KindCharon, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		base := Sum(exec.KindDDR4, baseRes, cfg.Threads)
+		ch := Sum(exec.KindCharon, chRes, cfg.Threads)
 		c := cell{speedup: base.Duration.Seconds() / ch.Duration.Seconds()}
 
 		var total float64

@@ -64,10 +64,18 @@ func FigFaultSweep(s *Session) (*FaultSweepResult, error) {
 			return err
 		}
 		// Host-over-HMC baseline: the path every degradation converges to.
-		base := Sum(exec.KindHMC, s.ReplayFault(r, exec.KindHMC, cfg.Threads, fault.Config{}), cfg.Threads)
+		baseRes, err := s.ReplayFault(r, exec.KindHMC, cfg.Threads, fault.Config{})
+		if err != nil {
+			return err
+		}
+		base := Sum(exec.KindHMC, baseRes, cfg.Threads)
 		row := make([]float64, len(cols))
 		for c := range cols {
-			t := Sum(exec.KindCharon, s.ReplayFault(r, exec.KindCharon, cfg.Threads, cols[c]), cfg.Threads)
+			colRes, err := s.ReplayFault(r, exec.KindCharon, cfg.Threads, cols[c])
+			if err != nil {
+				return err
+			}
+			t := Sum(exec.KindCharon, colRes, cfg.Threads)
 			row[c] = t.Duration.Seconds() / base.Duration.Seconds()
 		}
 		rows[w] = row

@@ -37,7 +37,11 @@ func Fig2(s *Session) (*Fig2Result, error) {
 		if err != nil {
 			return err
 		}
-		t := Sum(exec.KindDDR4, s.Replay(r, exec.KindDDR4, cfg.Threads), cfg.Threads)
+		rr, err := s.Replay(r, exec.KindDDR4, cfg.Threads)
+		if err != nil {
+			return err
+		}
+		t := Sum(exec.KindDDR4, rr, cfg.Threads)
 		rows[w][f] = t.Duration.Seconds() / r.MutTime.Seconds()
 		return nil
 	})
@@ -87,7 +91,10 @@ func Fig4(s *Session, kind gc.Kind) (*Fig4Result, error) {
 		if err != nil {
 			return err
 		}
-		p := s.NewPlatform(exec.KindDDR4, r.Env, cfg.Threads, exec.Options{})
+		p, err := s.NewPlatform(exec.KindDDR4, r.Env, cfg.Threads, exec.Options{})
+		if err != nil {
+			return err
+		}
 		var prim [gc.NumPrims]float64
 		var total float64
 		for _, ev := range r.Col.Log {
@@ -418,7 +425,11 @@ func Fig15(s *Session) (*Fig15Result, error) {
 			return err
 		}
 		runs[w] = r
-		bases[w] = Sum(exec.KindDDR4, s.Replay(r, exec.KindDDR4, 1), 1).Duration.Seconds()
+		rr, err := s.Replay(r, exec.KindDDR4, 1)
+		if err != nil {
+			return err
+		}
+		bases[w] = Sum(exec.KindDDR4, rr, 1).Duration.Seconds()
 		return nil
 	})
 	if err != nil {
@@ -437,7 +448,11 @@ func Fig15(s *Session) (*Fig15Result, error) {
 	err = cfg.forEachGrid(len(cfg.Workloads), nPoints, func(w, p int) error {
 		ki, ti := p/len(Fig15Threads), p%len(Fig15Threads)
 		th := Fig15Threads[ti]
-		t := Sum(Fig15Kinds[ki], s.Replay(runs[w], Fig15Kinds[ki], th), th)
+		rr, err := s.Replay(runs[w], Fig15Kinds[ki], th)
+		if err != nil {
+			return err
+		}
+		t := Sum(Fig15Kinds[ki], rr, th)
 		grid[w][ki][ti] = bases[w] / t.Duration.Seconds()
 		return nil
 	})

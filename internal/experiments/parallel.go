@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"charonsim/internal/sim"
 )
 
 // forEach runs fn(i) for every i in [0, n) on at most par concurrent
@@ -23,24 +26,34 @@ import (
 // tripping an invariant, say) becomes that index's error instead of
 // killing the whole sweep.
 func forEach(par, n int, fn func(i int) error) error {
-	return forEachTimeout(par, 0, n, fn)
+	return forEachCtx(context.Background(), par, 0, n, fn)
 }
 
-// forEachTimeout is forEach with a per-run wall-clock budget: a run
-// exceeding timeout reports a timeout error for its index while the
-// others proceed. Zero disables the budget. A timed-out run's goroutine
-// cannot be cancelled (the simulation is pure CPU); it is abandoned to
-// finish in the background and its late result discarded.
-func forEachTimeout(par int, timeout time.Duration, n int, fn func(i int) error) error {
+// forEachCtx is the full-featured pool: a per-run wall-clock budget
+// (zero disables it) and cooperative cancellation. When ctx is cancelled
+// no new index is dispatched; indexes never dispatched report ctx.Err()
+// so the sweep's error reflects the interruption, while already-running
+// indexes finish (or hit their own watchdog) and keep their results —
+// that is what makes an interrupted sweep's completed prefix flushable.
+// A timed-out run's goroutine cannot be cancelled (the simulation is
+// pure CPU); it is abandoned to finish in the background and its late
+// result discarded.
+func forEachCtx(ctx context.Context, par int, timeout time.Duration, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if par > n {
 		par = n
 	}
-	run := func(i int) error { return runGuarded(i, timeout, fn) }
+	run := func(i int) error { return runGuarded(ctx, i, timeout, fn) }
 	if par <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("experiments: run %d not started: %w", i, err)
+			}
 			if err := run(i); err != nil {
 				return err
 			}
@@ -59,8 +72,18 @@ func forEachTimeout(par int, timeout time.Duration, n int, fn func(i int) error)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Undispatched indexes never reach a worker, so writing their
+			// error slots here is race-free.
+			for j := i; j < n; j++ {
+				errs[j] = fmt.Errorf("experiments: run %d not started: %w", j, ctx.Err())
+			}
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -73,11 +96,18 @@ func forEachTimeout(par int, timeout time.Duration, n int, fn func(i int) error)
 }
 
 // runGuarded invokes fn(i) with panic recovery and an optional wall-clock
-// budget.
-func runGuarded(i int, timeout time.Duration, fn func(i int) error) (err error) {
+// budget. A sim.Aborted panic (the watchdog's structured escape) keeps its
+// wrapped error, so errors.Is against sim.ErrNoProgress or
+// context.Canceled works on the sweep's error; any other panic is
+// formatted with its stack.
+func runGuarded(ctx context.Context, i int, timeout time.Duration, fn func(i int) error) (err error) {
 	guarded := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
+				if ab, ok := r.(sim.Aborted); ok {
+					err = fmt.Errorf("experiments: run %d aborted: %w", i, ab.Err)
+					return
+				}
 				err = fmt.Errorf("experiments: run %d panicked: %v\n%s", i, r, debug.Stack())
 			}
 		}()
@@ -95,6 +125,8 @@ func runGuarded(i int, timeout time.Duration, fn func(i int) error) (err error) 
 		return err
 	case <-timer.C:
 		return fmt.Errorf("experiments: run %d exceeded the %v run timeout", i, timeout)
+	case <-ctx.Done():
+		return fmt.Errorf("experiments: run %d interrupted: %w", i, ctx.Err())
 	}
 }
 
@@ -103,10 +135,17 @@ func runGuarded(i int, timeout time.Duration, fn func(i int) error) (err error) 
 // discipline.
 func ForEach(par, n int, fn func(i int) error) error { return forEach(par, n, fn) }
 
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is
+// cancelled no further index is dispatched and the undispatched indexes
+// report ctx.Err().
+func ForEachCtx(ctx context.Context, par, n int, fn func(i int) error) error {
+	return forEachCtx(ctx, par, 0, n, fn)
+}
+
 // forEach binds the pool to the session configuration: Parallelism bounds
-// the workers and RunTimeout budgets each run.
+// the workers, RunTimeout budgets each run, and Ctx cancels dispatch.
 func (c Config) forEach(n int, fn func(i int) error) error {
-	return forEachTimeout(c.Parallelism, c.RunTimeout, n, fn)
+	return forEachCtx(c.Ctx, c.Parallelism, c.RunTimeout, n, fn)
 }
 
 // forEachGrid is forEach over an n-by-m index grid, flattened row-major so

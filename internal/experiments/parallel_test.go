@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -46,7 +47,7 @@ func TestForEachPanicRecovery(t *testing.T) {
 func TestForEachTimeout(t *testing.T) {
 	block := make(chan struct{})
 	defer close(block) // release the abandoned goroutine
-	err := forEachTimeout(4, 20*time.Millisecond, 3, func(i int) error {
+	err := forEachCtx(context.Background(), 4, 20*time.Millisecond, 3, func(i int) error {
 		if i == 1 {
 			<-block
 		}
@@ -56,10 +57,10 @@ func TestForEachTimeout(t *testing.T) {
 		t.Fatalf("got %v, want index-1 timeout error", err)
 	}
 
-	if err := forEachTimeout(2, 0, 4, func(i int) error { return nil }); err != nil {
+	if err := forEachCtx(context.Background(), 2, 0, 4, func(i int) error { return nil }); err != nil {
 		t.Fatalf("zero timeout must disable the budget: %v", err)
 	}
-	if err := forEachTimeout(2, time.Minute, 4, func(i int) error { return nil }); err != nil {
+	if err := forEachCtx(context.Background(), 2, time.Minute, 4, func(i int) error { return nil }); err != nil {
 		t.Fatalf("fast runs must beat a generous budget: %v", err)
 	}
 }
@@ -90,8 +91,14 @@ func TestReplayFaultZeroConfigIsReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain := s.Replay(r, exec.KindCharon, 8)
-	zero := s.ReplayFault(r, exec.KindCharon, 8, fault.Config{})
+	plain, err := s.Replay(r, exec.KindCharon, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := s.ReplayFault(r, exec.KindCharon, 8, fault.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(plain) != len(zero) {
 		t.Fatalf("event counts differ: %d vs %d", len(plain), len(zero))
 	}

@@ -7,11 +7,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
+	"charonsim/internal/checkpoint"
 	"charonsim/internal/energy"
 	"charonsim/internal/exec"
 	"charonsim/internal/fault"
@@ -54,8 +56,32 @@ type Config struct {
 	Fault fault.Config
 	// RunTimeout, when positive, bounds each simulation unit's wall-clock
 	// time in the worker pool; a run exceeding it fails with a timeout
-	// error instead of hanging the sweep. Zero disables the budget.
+	// error instead of hanging the sweep. Zero disables the budget. The
+	// same budget arms the engine watchdog's wall-clock heartbeat, which
+	// — unlike the pool's timer — stops the wedged goroutine itself.
 	RunTimeout time.Duration
+	// Ctx, when non-nil, cancels the session's work: the worker pool stops
+	// dispatching, and in-flight replays abort at GC-event / event-loop
+	// granularity with an error satisfying errors.Is(err, ctx.Err()).
+	// Nil means context.Background() (never cancelled).
+	Ctx context.Context
+	// Checkpoint, when non-nil, makes sweeps resumable: every replay unit
+	// is keyed by a canonical hash of its fully-resolved configuration,
+	// consulted before dispatching and persisted (atomically, with a
+	// checksum) after completing. Cached units are byte-identical to live
+	// ones, so a resumed sweep's report matches an uninterrupted run.
+	// Ignored while Metrics or Trace are enabled: served-from-cache
+	// replays would not feed the component counters, silently skewing the
+	// snapshot (the public Config.Validate rejects the combination).
+	Checkpoint *checkpoint.Store
+	// WatchdogStalls bounds consecutive engine/scheduler steps without
+	// simulated-time advance before a run is declared wedged and aborted
+	// with sim.ErrNoProgress plus a diagnostic dump. 0 selects
+	// sim.DefaultStallLimit; negative disables the check.
+	WatchdogStalls int
+	// WatchdogQueue bounds the event-queue depth the same way. 0 selects
+	// sim.DefaultQueueLimit; negative disables the check.
+	WatchdogQueue int
 }
 
 func (c Config) withDefaults() Config {
@@ -74,12 +100,39 @@ func (c Config) withDefaults() Config {
 	if c.Parallelism < 1 {
 		c.Parallelism = 1
 	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 	return c
+}
+
+// watchdog resolves the session's progress-monitor configuration for one
+// run unit: the stall/queue knobs, the per-run wall-clock heartbeat, and
+// the cancellation context.
+func (c Config) watchdog() sim.Watchdog {
+	wd := sim.DefaultWatchdog()
+	switch {
+	case c.WatchdogStalls > 0:
+		wd.StallLimit = uint64(c.WatchdogStalls)
+	case c.WatchdogStalls < 0:
+		wd.StallLimit = 0
+	}
+	switch {
+	case c.WatchdogQueue > 0:
+		wd.QueueLimit = c.WatchdogQueue
+	case c.WatchdogQueue < 0:
+		wd.QueueLimit = 0
+	}
+	wd.WallClock = c.RunTimeout
+	wd.Ctx = c.Ctx
+	return wd
 }
 
 // Run is one recorded workload execution.
 type Run struct {
 	Name    string
+	Factor  float64 // heap overprovisioning the recording ran at
+	Mode    gc.Mode // collector mode the recording ran under
 	Spec    workload.Spec
 	Col     *gc.Collector
 	Env     exec.Env
@@ -174,7 +227,7 @@ func record(name string, factor float64, mode gc.Mode) (*Run, error) {
 		return nil, fmt.Errorf("%s at %.2fx: %w", name, factor, err)
 	}
 	return &Run{
-		Name: name, Spec: w.Spec(), Col: col,
+		Name: name, Factor: factor, Mode: mode, Spec: w.Spec(), Col: col,
 		Env:     exec.EnvFor(col),
 		MutTime: workload.MutatorTime(w.Spec(), col.H),
 	}, nil
@@ -188,11 +241,20 @@ func (s *Session) Executions() int {
 	return len(s.runs)
 }
 
-// NewPlatform builds a platform wired with the session's trace recorder.
-// Experiment code must build replay platforms through this (or Replay) so
-// the observability configuration reaches every simulated component.
-func (s *Session) NewPlatform(kind exec.Kind, env exec.Env, threads int, opt exec.Options) exec.Platform {
+// NewPlatform builds a platform wired with the session's trace recorder,
+// cancellation context, and engine watchdog. Experiment code must build
+// replay platforms through this (or Replay) so the observability and
+// self-protection configuration reaches every simulated component. An
+// unknown kind is returned as an error.
+func (s *Session) NewPlatform(kind exec.Kind, env exec.Env, threads int, opt exec.Options) (exec.Platform, error) {
 	opt.Trace = s.cfg.Trace
+	if opt.Ctx == nil {
+		opt.Ctx = s.cfg.Ctx
+	}
+	if opt.Watchdog == nil {
+		wd := s.cfg.watchdog()
+		opt.Watchdog = &wd
+	}
 	return exec.NewWithOptions(kind, env, threads, opt)
 }
 
@@ -209,25 +271,45 @@ func (s *Session) Observe(p exec.Platform) {
 // Replay plays a run's full GC log on a fresh platform of the given kind,
 // returning per-event results. The session's fault configuration (if any)
 // applies.
-func (s *Session) Replay(r *Run, kind exec.Kind, threads int) []exec.Result {
+func (s *Session) Replay(r *Run, kind exec.Kind, threads int) ([]exec.Result, error) {
 	return s.ReplayFault(r, kind, threads, s.cfg.Fault)
 }
 
 // ReplayFault is Replay with an explicit fault configuration, overriding
 // the session's — the fault-sweep experiment uses it to replay the same
 // recording at several fault rates within one session.
-func (s *Session) ReplayFault(r *Run, kind exec.Kind, threads int, fc fault.Config) []exec.Result {
+//
+// When the session has a checkpoint store, the fully-resolved run key is
+// consulted first: a valid cached entry is returned byte-identically
+// without simulating, and a live result is persisted on completion.
+// Store I/O failures never fail the replay — a lost Put just means that
+// unit re-executes on the next resume.
+func (s *Session) ReplayFault(r *Run, kind exec.Kind, threads int, fc fault.Config) ([]exec.Result, error) {
+	st := s.checkpointStore()
+	var key string
+	if st != nil {
+		key = s.runKey(r, kind, threads, fc)
+		if out, ok := getCachedResults(st, key); ok {
+			return out, nil
+		}
+	}
 	opt := exec.Options{}
 	if fc.Enabled() {
 		opt.Fault = &fc
 	}
-	p := s.NewPlatform(kind, r.Env, threads, opt)
+	p, err := s.NewPlatform(kind, r.Env, threads, opt)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]exec.Result, 0, len(r.Col.Log))
 	for _, ev := range r.Col.Log {
 		out = append(out, p.Replay(ev, threads))
 	}
 	s.Observe(p)
-	return out
+	if st != nil {
+		putCachedResults(st, key, out)
+	}
+	return out, nil
 }
 
 // Totals aggregates replay results.
@@ -278,7 +360,11 @@ func (s *Session) replayTotals(name string, kind exec.Kind, threads int) (Totals
 	if err != nil {
 		return Totals{}, err
 	}
-	return Sum(kind, s.Replay(r, kind, threads), threads), nil
+	results, err := s.Replay(r, kind, threads)
+	if err != nil {
+		return Totals{}, err
+	}
+	return Sum(kind, results, threads), nil
 }
 
 // geomeanOf extracts a geomean across workloads from a per-workload map.

@@ -66,6 +66,7 @@ type Engine struct {
 	queue    eventQueue
 	nsteps   uint64
 	maxQueue int
+	mon      *Monitor
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -77,6 +78,22 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() uint64 { return e.nsteps }
 
+// SetWatchdog arms (or, with a zero config, disarms) the engine's
+// progress monitor: a step budget for zero-advance livelocks, an
+// event-queue growth bound, a wall-clock heartbeat, and context
+// cancellation. Violations abort the run with a panic carrying a
+// structured *NoProgressError (see Aborted) instead of hanging.
+func (e *Engine) SetWatchdog(cfg Watchdog) { e.mon = NewMonitor(cfg) }
+
+// Diagnostics snapshots the engine state for a watchdog dump.
+func (e *Engine) Diagnostics() Diagnostics {
+	d := Diagnostics{Now: e.now, QueueDepth: len(e.queue), MaxQueueDepth: e.maxQueue}
+	if len(e.queue) > 0 {
+		d.OldestEvent, d.HasOldest = e.queue[0].at, true
+	}
+	return d
+}
+
 // Schedule runs fn after delay (possibly zero) relative to Now.
 func (e *Engine) Schedule(delay Time, fn func()) {
 	e.seq++
@@ -84,6 +101,7 @@ func (e *Engine) Schedule(delay Time, fn func()) {
 	if len(e.queue) > e.maxQueue {
 		e.maxQueue = len(e.queue)
 	}
+	e.mon.CheckQueue(len(e.queue), e.Diagnostics)
 }
 
 // At runs fn at absolute time t. If t is in the past it runs at Now.
@@ -96,6 +114,7 @@ func (e *Engine) At(t Time, fn func()) {
 	if len(e.queue) > e.maxQueue {
 		e.maxQueue = len(e.queue)
 	}
+	e.mon.CheckQueue(len(e.queue), e.Diagnostics)
 }
 
 // Pending reports whether any events remain.
@@ -113,8 +132,10 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.queue).(*event)
+	advanced := ev.at > e.now
 	e.now = ev.at
 	e.nsteps++
+	e.mon.Tick(advanced, e.Diagnostics)
 	ev.fn()
 	return true
 }

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// abortOf runs fn and returns the structured abort it panicked with, or
+// nil if it returned normally.
+func abortOf(t *testing.T, fn func()) (err error) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ab, ok := r.(Aborted)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want sim.Aborted", r, r)
+		}
+		err = ab.Err
+	}()
+	fn()
+	return nil
+}
+
+func TestWatchdogStallLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{StallLimit: 100})
+	// A zero-delay self-rescheduling event: simulated time never advances.
+	var loop func()
+	loop = func() { e.Schedule(0, loop) }
+	e.Schedule(0, loop)
+	err := abortOf(t, func() { e.Run() })
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	var np *NoProgressError
+	if !errors.As(err, &np) {
+		t.Fatalf("err %v is not a *NoProgressError", err)
+	}
+	if np.Diag.StallSteps <= 100 {
+		t.Errorf("diagnostic stall count %d, want > limit 100", np.Diag.StallSteps)
+	}
+	if !strings.Contains(np.Error(), "queue depth") {
+		t.Errorf("dump missing queue depth:\n%s", np.Error())
+	}
+}
+
+func TestWatchdogAllowsAdvancingRuns(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{StallLimit: 4, QueueLimit: 16})
+	// Many events, but each advances time: the stall counter must reset.
+	n := 0
+	var tick func()
+	tick = func() {
+		if n++; n < 1000 {
+			e.Schedule(Nanosecond, tick)
+		}
+	}
+	e.Schedule(Nanosecond, tick)
+	if err := abortOf(t, func() { e.Run() }); err != nil {
+		t.Fatalf("healthy run aborted: %v", err)
+	}
+	if n != 1000 {
+		t.Fatalf("ran %d events, want 1000", n)
+	}
+}
+
+func TestWatchdogQueueLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{QueueLimit: 50})
+	// Each event schedules two more: monotonic queue growth.
+	var fork func()
+	fork = func() {
+		e.Schedule(Nanosecond, fork)
+		e.Schedule(Nanosecond, fork)
+	}
+	err := abortOf(t, func() {
+		e.Schedule(0, fork)
+		e.Run()
+	})
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	var np *NoProgressError
+	if !errors.As(err, &np) || np.Diag.QueueDepth <= 50 {
+		t.Fatalf("want queue-depth diagnostic above the bound, got %v", err)
+	}
+}
+
+func TestWatchdogWallClock(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{WallClock: 30 * time.Millisecond, CheckEvery: 64})
+	// Time advances forever, so only the wall-clock heartbeat can stop it.
+	var tick func()
+	tick = func() { e.Schedule(Nanosecond, tick) }
+	e.Schedule(0, tick)
+	start := time.Now()
+	err := abortOf(t, func() { e.Run() })
+	if !errors.Is(err, ErrNoProgress) {
+		t.Fatalf("err = %v, want ErrNoProgress", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("watchdog took %v to fire", el)
+	}
+}
+
+func TestWatchdogContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{Ctx: ctx, CheckEvery: 64})
+	var tick func()
+	tick = func() { e.Schedule(Nanosecond, tick) }
+	e.Schedule(0, tick)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := abortOf(t, func() { e.Run() })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNilMonitorIsInert(t *testing.T) {
+	var m *Monitor
+	m.Tick(false, nil)
+	m.CheckQueue(1<<30, nil)
+	m.CheckCtx()
+	if m.Steps() != 0 || m.Stalls() != 0 {
+		t.Fatal("nil monitor reported state")
+	}
+	if NewMonitor(Watchdog{}) != nil {
+		t.Fatal("zero watchdog config must yield a nil (disabled) monitor")
+	}
+}
+
+func TestDefaultWatchdogBoundsAreGenerous(t *testing.T) {
+	cfg := DefaultWatchdog()
+	if !cfg.Enabled() {
+		t.Fatal("default watchdog disabled")
+	}
+	if cfg.StallLimit < 1<<20 || cfg.QueueLimit < 1<<20 {
+		t.Fatalf("default bounds %d/%d too tight for healthy replays", cfg.StallLimit, cfg.QueueLimit)
+	}
+}

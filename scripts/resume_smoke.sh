@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# resume_smoke.sh — end-to-end crash-safety check for the checkpointing
+# layer, usable locally and as the CI resume-smoke job:
+#
+#   1. run a sweep with -checkpoint-dir and kill it mid-flight (SIGINT),
+#   2. assert the clean partial exit code (3) and an intact store,
+#   3. resume over the same directory to completion,
+#   4. diff the resumed output against an uninterrupted golden run.
+#
+# Any divergence — a corrupt entry, a changed exit code, a single byte of
+# report drift — fails the script.
+set -u -o pipefail
+
+EXP=${EXP:-fig2}
+WORKLOADS=${WORKLOADS:-BS}
+GO=${GO:-go}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+CKPT="$WORK/ckpt"
+ARGS=(-exp "$EXP" -workloads "$WORKLOADS" -parallel 1 -checkpoint-dir "$CKPT")
+
+echo "== building charonsim =="
+$GO build -o "$WORK/charonsim" ./cmd/charonsim || exit 1
+
+echo "== phase 1: interrupted run =="
+"$WORK/charonsim" "${ARGS[@]}" >"$WORK/interrupted.out" 2>"$WORK/interrupted.err" &
+PID=$!
+
+# Interrupt once the first checkpoint entry has been persisted (so the
+# resume genuinely replays cached work), with a hard timeout.
+for _ in $(seq 1 1200); do
+    if compgen -G "$CKPT/*.ckpt.json" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "FAIL: sweep exited before writing a checkpoint entry"
+        cat "$WORK/interrupted.err"
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -INT "$PID"
+wait "$PID"
+CODE=$?
+if [ "$CODE" -ne 3 ]; then
+    echo "FAIL: interrupted run exited $CODE, want 3"
+    cat "$WORK/interrupted.err"
+    exit 1
+fi
+N=$(ls "$CKPT"/*.ckpt.json 2>/dev/null | wc -l)
+echo "interrupted cleanly with $N checkpointed unit(s)"
+
+echo "== phase 2: resume =="
+if ! "$WORK/charonsim" "${ARGS[@]}" >"$WORK/resumed.out" 2>"$WORK/resumed.err"; then
+    echo "FAIL: resume run failed"
+    cat "$WORK/resumed.err"
+    exit 1
+fi
+
+echo "== phase 3: golden (uninterrupted) run =="
+if ! "$WORK/charonsim" -exp "$EXP" -workloads "$WORKLOADS" -parallel 1 \
+    -checkpoint-dir "$WORK/ckpt-golden" >"$WORK/golden.out" 2>"$WORK/golden.err"; then
+    echo "FAIL: golden run failed"
+    cat "$WORK/golden.err"
+    exit 1
+fi
+
+# Strip the wall-clock trailer — the only legitimately varying line.
+strip() { grep -v '^([0-9]* experiment(s) in ' "$1"; }
+if ! diff <(strip "$WORK/resumed.out") <(strip "$WORK/golden.out"); then
+    echo "FAIL: resumed output diverged from the uninterrupted run"
+    exit 1
+fi
+echo "PASS: resumed output is byte-identical to the uninterrupted run"
