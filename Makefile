@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test short race golden bench parbench audit faults fuzz resume-smoke lint ci
+.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,17 @@ golden:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
 
+# Benchmark-regression gate: per-subsystem suite plus end-to-end RunAll,
+# compared against the committed bench_baseline.txt. Fails on >10%
+# geomean ns/op regression; writes BENCH.json. BENCH_SET=short for the
+# CI smoke set (microbenchmarks only, no RunAll).
+bench-gate:
+	./scripts/bench_gate.sh
+
+# Refresh bench_baseline.txt after an intentional perf change (commit it).
+bench-baseline:
+	BENCH_UPDATE=1 ./scripts/bench_gate.sh
+
 # Invariant audit: vet plus the cross-component conservation and
 # utilization-range checks (byte conservation between requesters and DRAM
 # banks, utilization gauges in [0,1], unit-busy double accounting), plus a
@@ -40,11 +51,14 @@ audit:
 	$(GO) test -timeout 10m -run 'Invariant|Conservation|Utilization|BusyNeverExceeds|PerUnitMetrics|RequesterBytes|ConfigValidate' ./internal/exec ./internal/charon ./internal/sim .
 	$(GO) test -run FuzzConfigValidate -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) .
 
-# Fuzz the public Config boundary: Validate must never panic, and every
-# accepted config must run cleanly. FUZZTIME=10m fuzz for a longer soak.
+# Fuzz the public Config boundary (Validate must never panic, accepted
+# configs must run cleanly) and the calendar ring (ring/spill accounting
+# must match the retired map-scan reference on arbitrary reserve/query
+# interleavings). FUZZTIME=10m fuzz for a longer soak.
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run FuzzConfigValidate -fuzz=FuzzConfigValidate -fuzztime=$(FUZZTIME) .
+	$(GO) test -run FuzzCalendarRingEquivalence -fuzz=FuzzCalendarRingEquivalence -fuzztime=$(FUZZTIME) ./internal/sim
 
 # Crash-safety smoke: interrupt a checkpointed sweep with SIGINT, resume
 # it, and diff against an uninterrupted golden run (see the script).

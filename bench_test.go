@@ -290,6 +290,22 @@ func BenchmarkSuiteQuickSerialVsParallel(b *testing.B) {
 	suiteSerialVsParallel(b, []string{"BS", "CC", "ALS"})
 }
 
+// BenchmarkRunAll measures the whole experiment suite end to end on one
+// workload, serially: every figure and table, functional recording plus
+// all platform replays. This is the headline number scripts/bench_gate.sh
+// records in BENCH.json — the wall-clock cost of a full sweep.
+func BenchmarkRunAll(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reports, err := RunAll(Config{Workloads: []string{"BS"}, Parallelism: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(reports) == 0 {
+			b.Fatal("no reports")
+		}
+	}
+}
+
 // BenchmarkEndToEnd measures the full pipeline cost for one workload:
 // functional GC recording plus a Charon replay (the unit of work behind
 // every figure).

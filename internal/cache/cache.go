@@ -105,7 +105,29 @@ type Cache struct {
 	nsets uint64
 	tick  uint64
 
+	// Shift/mask fast path for the index math: every standard geometry
+	// (Table 2, the scaled variants, the bitmap cache) has power-of-two
+	// block size and set count, and the divisions in index() otherwise
+	// dominate the access cost. Division fallback when not pow2.
+	pow2       bool
+	blockShift uint
+	setShift   uint
+	setMask    uint64
+
 	Stats Stats
+}
+
+// log2 returns the exponent of a power of two, or ok=false.
+func log2(v uint64) (uint, bool) {
+	if v == 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s, true
 }
 
 // New builds a cache from cfg. Panics on a geometry that doesn't divide
@@ -124,7 +146,13 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = backing[uint64(i)*uint64(cfg.Ways) : (uint64(i)+1)*uint64(cfg.Ways)]
 	}
-	return &Cache{cfg: cfg, sets: sets, nsets: nsets}
+	c := &Cache{cfg: cfg, sets: sets, nsets: nsets}
+	bs, okB := log2(cfg.BlockSize)
+	ss, okS := log2(nsets)
+	if okB && okS {
+		c.pow2, c.blockShift, c.setShift, c.setMask = true, bs, ss, nsets-1
+	}
+	return c
 }
 
 // Config returns the cache's configuration.
@@ -143,12 +171,19 @@ func (c *Cache) Collect(reg *metrics.Registry, prefix string) {
 }
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	if c.pow2 {
+		blk := addr >> c.blockShift
+		return blk & c.setMask, blk >> c.setShift
+	}
 	blk := addr / c.cfg.BlockSize
 	return blk % c.nsets, blk / c.nsets
 }
 
 // blockAddr reconstructs the base address of a cached line.
 func (c *Cache) blockAddr(set, tag uint64) uint64 {
+	if c.pow2 {
+		return (tag<<c.setShift | set) << c.blockShift
+	}
 	return (tag*c.nsets + set) * c.cfg.BlockSize
 }
 
@@ -238,16 +273,20 @@ func (c *Cache) Flush() (dirty int) {
 
 // DirtyLines returns the addresses of all dirty blocks (for write-back
 // traffic accounting without flushing).
-func (c *Cache) DirtyLines() []uint64 {
-	var out []uint64
+func (c *Cache) DirtyLines() []uint64 { return c.AppendDirtyLines(nil) }
+
+// AppendDirtyLines appends the addresses of all dirty blocks to dst and
+// returns the extended slice, letting flush loops reuse one scratch
+// buffer instead of allocating per flush.
+func (c *Cache) AppendDirtyLines(dst []uint64) []uint64 {
 	for s := range c.sets {
 		for i := range c.sets[s] {
 			if c.sets[s][i].valid && c.sets[s][i].dirty {
-				out = append(out, c.blockAddr(uint64(s), c.sets[s][i].tag))
+				dst = append(dst, c.blockAddr(uint64(s), c.sets[s][i].tag))
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Hierarchy chains cache levels in front of a memory latency model. It
@@ -255,6 +294,11 @@ func (c *Cache) DirtyLines() []uint64 {
 // load's data arrives, and how many memory requests does it generate?".
 type Hierarchy struct {
 	Levels []*Cache
+
+	// wb is the reusable backing for LookupResult.Writebacks: memory
+	// writebacks are rare (last-level dirty victims only) but the append
+	// in the common Access path must not allocate per call.
+	wb []uint64
 }
 
 // NewHostHierarchy builds Table 2's L1D/L2/L3 stack.
@@ -277,8 +321,11 @@ type LookupResult struct {
 // Access walks the hierarchy for one block access. Stores dirty the line
 // only in the first level; dirty victims cascade one level down, and only
 // last-level victims become memory writebacks.
+//
+// The returned Writebacks slice aliases hierarchy-owned scratch and is
+// valid until the next Access call.
 func (h *Hierarchy) Access(addr uint64, write bool) LookupResult {
-	var res LookupResult
+	res := LookupResult{Writebacks: h.wb[:0]}
 	for i, c := range h.Levels {
 		res.Latency += c.Config().HitLatency
 		r := c.Access(addr, write && i == 0)
@@ -287,11 +334,13 @@ func (h *Hierarchy) Access(addr uint64, write bool) LookupResult {
 		}
 		if r.Hit {
 			res.Level = i
+			h.wb = res.Writebacks[:0]
 			return res
 		}
 	}
 	res.Level = len(h.Levels)
 	res.MemoryAccess = true
+	h.wb = res.Writebacks[:0]
 	return res
 }
 

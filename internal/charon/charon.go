@@ -193,7 +193,22 @@ type Accelerator struct {
 	// with faults off — arithmetic identity, not just approximately).
 	degradeFactor float64
 
+	// Reusable per-offload scratch (offloads on one accelerator are
+	// serialized by the replay loop): pending write-buffer entries for
+	// OffloadCopy, per-reference slot-load completion times for
+	// OffloadScanPush.
+	copyPend []pendWrite
+	slotDone []sim.Time
+	dirty    []uint64
+
 	Stats Stats
+}
+
+// pendWrite is a write-buffered chunk of an in-flight COPY offload.
+type pendWrite struct {
+	off      uint64
+	n        uint32
+	readDone sim.Time
 }
 
 // New builds an accelerator over sys.
@@ -481,7 +496,8 @@ func (a *Accelerator) bitmapCacheAccess(t sim.Time, cube int, addr uint64, write
 func (a *Accelerator) FlushBitmapCaches(t sim.Time) sim.Time {
 	last := t
 	for i, c := range a.bmCaches {
-		for _, addr := range c.DirtyLines() {
+		a.dirty = c.AppendDirtyLines(a.dirty[:0])
+		for _, addr := range a.dirty {
 			if d := a.memAccess(t, i%len(a.mais), memsys.Write, addr, 32); d > last {
 				last = d
 			}

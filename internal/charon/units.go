@@ -38,20 +38,16 @@ func (a *Accelerator) OffloadCopy(t sim.Time, src, dst uint64, size uint32) sim.
 	var last sim.Time
 	issue := start
 	m := &a.mais[cube]
-	type pend struct {
-		off      uint64
-		n        uint32
-		readDone sim.Time
-	}
-	var writes []pend
+	writes := a.copyPend[:0]
 	memsys.SplitBursts(src, size, a.grain(), func(addr uint64, n uint32) {
 		off := addr - src
 		readDone := m.reserve(issue, func(st sim.Time) sim.Time {
 			return a.memAccess(st, cube, memsys.Read, addr, n)
 		})
-		writes = append(writes, pend{off: off, n: n, readDone: readDone})
+		writes = append(writes, pendWrite{off: off, n: n, readDone: readDone})
 		issue += a.cfg.LogicPeriod
 	})
+	a.copyPend = writes[:0]
 	for _, w := range writes {
 		writeDone := a.memAccess(w.readDone, cube, memsys.Write, dst+w.off, w.n)
 		if writeDone > last {
@@ -178,9 +174,15 @@ func (a *Accelerator) OffloadScanPush(t sim.Time, obj uint64, refs []RefOp, stac
 		}
 	}
 
-	// Slot loads: coalesce contiguous slots into streaming requests.
+	// Slot loads: coalesce contiguous slots into streaming requests. Each
+	// invocation scans one object's slots, so references are positionally
+	// unique and the completion times index by reference position (the
+	// reusable slotDone scratch) rather than through a per-call map.
 	issue := start
-	slotDone := make(map[uint64]sim.Time, len(refs))
+	if cap(a.slotDone) < len(refs) {
+		a.slotDone = make([]sim.Time, len(refs))
+	}
+	slotDone := a.slotDone[:len(refs)]
 	i := 0
 	for i < len(refs) {
 		base := refs[i].Slot
@@ -194,7 +196,7 @@ func (a *Accelerator) OffloadScanPush(t sim.Time, obj uint64, refs []RefOp, stac
 			return a.memAccess(st, cube, memsys.Read, base, uint32(end-base))
 		})
 		for k := i; k < j; k++ {
-			slotDone[refs[k].Slot] = done
+			slotDone[k] = done
 		}
 		bump(done)
 		issue += a.cfg.LogicPeriod
@@ -203,8 +205,9 @@ func (a *Accelerator) OffloadScanPush(t sim.Time, obj uint64, refs []RefOp, stac
 
 	// Dependent work per reference.
 	push := 0
-	for _, r := range refs {
-		ready := slotDone[r.Slot]
+	for ri := range refs {
+		r := &refs[ri]
+		ready := slotDone[ri]
 		if r.Target == 0 {
 			continue
 		}

@@ -145,6 +145,9 @@ type Core struct {
 	streams   [4]uint64
 	streamIdx int
 
+	// dirty is reusable scratch for FlushCaches' per-level dirty lines.
+	dirty []uint64
+
 	Stats Stats
 }
 
@@ -345,7 +348,8 @@ func (c *Core) ExecBatch(start sim.Time, ops []Op, depBase int) sim.Time {
 func (c *Core) FlushCaches(t sim.Time) sim.Time {
 	last := t
 	for _, level := range c.hier.Levels {
-		for _, addr := range level.DirtyLines() {
+		c.dirty = level.AppendDirtyLines(c.dirty[:0])
+		for _, addr := range c.dirty {
 			c.Stats.Mem.Record(&memsys.Request{Kind: memsys.Write, Size: 64})
 			if d := c.mem.AccessAt(t, memsys.Write, addr, 64); d > last {
 				last = d

@@ -35,9 +35,9 @@ func TestRunThreadsStallGuard(t *testing.T) {
 	mon := sim.NewMonitor(sim.Watchdog{StallLimit: 64})
 	err := recoverAbort(func() {
 		runThreads(0, evs[0], 2, mon, nil, func(thread int, inv *gc.Invocation) stepper {
-			return func(_ int, tm sim.Time) stepResult {
+			return stepFunc(func(_ int, tm sim.Time) stepResult {
 				return stepResult{t: tm} // no advance, never done
-			}
+			})
 		})
 	})
 	if err == nil {
@@ -71,6 +71,41 @@ func TestRunThreadsHealthyReplayNeverStalls(t *testing.T) {
 	}
 	for _, ev := range evs {
 		p.Replay(ev, 8)
+	}
+}
+
+// TestWatchdogAbortThenSchedulerReuse: the reusable replaySched scratch
+// (thread heap, per-thread stepper states) must come back clean after a
+// watchdog abort tore down a run mid-flight — the next run on the same
+// scratch sees every invocation exactly once, with no stale steppers from
+// the aborted schedule firing.
+func TestWatchdogAbortThenSchedulerReuse(t *testing.T) {
+	evs, _ := record(t, 4<<20)
+	ev := evs[0]
+	mon := sim.NewMonitor(sim.Watchdog{StallLimit: 64})
+	var sched replaySched
+	err := recoverAbort(func() {
+		sched.run(0, ev, 2, mon, nil, func(thread int, inv *gc.Invocation) stepper {
+			return stepFunc(func(_ int, tm sim.Time) stepResult {
+				return stepResult{t: tm} // wedge: no advance, never done
+			})
+		})
+	})
+	if !errors.Is(err, sim.ErrNoProgress) {
+		t.Fatalf("wedged run aborted with %v, want ErrNoProgress", err)
+	}
+	seen := 0
+	end, _ := sched.run(0, ev, 2, nil, nil, func(thread int, inv *gc.Invocation) stepper {
+		return oneShot(func(tm sim.Time) sim.Time {
+			seen++
+			return tm + 1
+		})
+	})
+	if seen != len(ev.Invocations) {
+		t.Fatalf("reused scheduler executed %d of %d invocations", seen, len(ev.Invocations))
+	}
+	if end == 0 {
+		t.Fatal("reused scheduler did not advance time")
 	}
 }
 

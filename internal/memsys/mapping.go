@@ -29,12 +29,39 @@ type DDR4Mapper struct {
 	Ranks    int
 	Banks    int
 	RowBytes uint64 // row-buffer size per bank
+
+	// Shift/mask decomposition of the geometry, valid when pow2 is set
+	// (precomputed by the constructor). Map sits on the per-line hot path
+	// of every DRAM access, and the compiler cannot strength-reduce
+	// divisions by non-constant fields on its own.
+	pow2                 bool
+	shLine, shCh, shRank uint
+	shBank, shRow        uint
 }
 
 // NewDDR4Mapper returns the Table 2 DDR4 geometry: 2 channels, 4 ranks,
 // 8 banks, 8 KB row buffers, 64 B channel interleave.
 func NewDDR4Mapper() *DDR4Mapper {
-	return &DDR4Mapper{LineSize: 64, Channels: 2, Ranks: 4, Banks: 8, RowBytes: 8192}
+	m := &DDR4Mapper{LineSize: 64, Channels: 2, Ranks: 4, Banks: 8, RowBytes: 8192}
+	m.precompute()
+	return m
+}
+
+// precompute derives the shift decomposition when every geometry
+// parameter is a power of two. Mappers built as struct literals skip this
+// and Map falls back to the division path (identical results).
+func (m *DDR4Mapper) precompute() {
+	shLine, ok1 := log2u64(m.LineSize)
+	shCh, ok2 := log2u64(uint64(m.Channels))
+	shRank, ok3 := log2u64(uint64(m.Ranks))
+	shBank, ok4 := log2u64(uint64(m.Banks))
+	shRowB, ok5 := log2u64(m.RowBytes)
+	if !(ok1 && ok2 && ok3 && ok4 && ok5) || shRowB < shLine {
+		return
+	}
+	m.shLine, m.shCh, m.shRank, m.shBank = shLine, shCh, shRank, shBank
+	m.shRow = shRowB - shLine // log2(lines per row)
+	m.pow2 = true
 }
 
 // Geometry implements Mapper.
@@ -42,6 +69,16 @@ func (m *DDR4Mapper) Geometry() (int, int, int) { return m.Channels, m.Ranks, m.
 
 // Map implements Mapper.
 func (m *DDR4Mapper) Map(addr uint64) BankCoord {
+	if m.pow2 {
+		a := addr >> m.shLine
+		ch := a & (1<<m.shCh - 1)
+		a >>= m.shCh
+		rank := a & (1<<m.shRank - 1)
+		a >>= m.shRank
+		bank := a & (1<<m.shBank - 1)
+		a >>= m.shBank
+		return BankCoord{Channel: int(ch), Rank: int(rank), Bank: int(bank), Row: a >> m.shRow}
+	}
 	a := addr / m.LineSize
 	ch := a % uint64(m.Channels)
 	a /= uint64(m.Channels)
@@ -53,6 +90,19 @@ func (m *DDR4Mapper) Map(addr uint64) BankCoord {
 	linesPerRow := m.RowBytes / m.LineSize
 	row := a / linesPerRow
 	return BankCoord{Channel: int(ch), Rank: int(rank), Bank: int(bank), Row: row}
+}
+
+// log2u64 returns log2(v) when v is a power of two.
+func log2u64(v uint64) (uint, bool) {
+	if v == 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s, true
 }
 
 // HMCMapper implements the paper's HMC interleaving
@@ -69,6 +119,12 @@ type HMCMapper struct {
 	VaultGrain uint64 // vault interleave granularity (bytes)
 	Banks      int
 	RowBytes   uint64
+
+	// Shift/mask decomposition, valid when pow2 is set (constructor-built
+	// mappers only; see DDR4Mapper.precompute for rationale).
+	pow2                   bool
+	shCubes, shGrain       uint
+	shVault, shBank, shRow uint
 }
 
 // NewHMCMapper returns the Table 2 HMC geometry with the given cube-select
@@ -79,7 +135,25 @@ type HMCMapper struct {
 // streams spread across all 32 vaults and a 256 B Charon request is
 // serviced by four vaults in parallel.
 func NewHMCMapper(cubeShift uint) *HMCMapper {
-	return &HMCMapper{Cubes: 4, CubeShift: cubeShift, Vaults: 32, VaultGrain: 64, Banks: 8, RowBytes: 4096}
+	m := &HMCMapper{Cubes: 4, CubeShift: cubeShift, Vaults: 32, VaultGrain: 64, Banks: 8, RowBytes: 4096}
+	m.precompute()
+	return m
+}
+
+// precompute derives the shift decomposition when every geometry
+// parameter is a power of two.
+func (m *HMCMapper) precompute() {
+	shCubes, ok1 := log2u64(uint64(m.Cubes))
+	shGrain, ok2 := log2u64(m.VaultGrain)
+	shVault, ok3 := log2u64(uint64(m.Vaults))
+	shBank, ok4 := log2u64(uint64(m.Banks))
+	shRowB, ok5 := log2u64(m.RowBytes)
+	if !(ok1 && ok2 && ok3 && ok4 && ok5) || shRowB < shGrain {
+		return
+	}
+	m.shCubes, m.shGrain, m.shVault, m.shBank = shCubes, shGrain, shVault, shBank
+	m.shRow = shRowB - shGrain // log2(grains per row)
+	m.pow2 = true
 }
 
 // Geometry implements Mapper. Channels = cubes, ranks = vaults.
@@ -88,11 +162,25 @@ func (m *HMCMapper) Geometry() (int, int, int) { return m.Cubes, m.Vaults, m.Ban
 // Cube returns only the cube index for addr (used for offload scheduling:
 // Copy is dispatched to the cube housing its source address).
 func (m *HMCMapper) Cube(addr uint64) int {
+	if m.pow2 {
+		return int((addr >> m.CubeShift) & (1<<m.shCubes - 1))
+	}
 	return int((addr >> m.CubeShift) % uint64(m.Cubes))
 }
 
 // Map implements Mapper.
 func (m *HMCMapper) Map(addr uint64) BankCoord {
+	if m.pow2 {
+		cube := int((addr >> m.CubeShift) & (1<<m.shCubes - 1))
+		low := addr & (1<<m.CubeShift - 1)
+		high := (addr >> m.CubeShift) >> m.shCubes << m.CubeShift
+		a := (high | low) >> m.shGrain
+		vault := a & (1<<m.shVault - 1)
+		a >>= m.shVault
+		bank := a & (1<<m.shBank - 1)
+		a >>= m.shBank
+		return BankCoord{Channel: cube, Rank: int(vault), Bank: int(bank), Row: a >> m.shRow}
+	}
 	cube := m.Cube(addr)
 	// Remove the cube-select bits, collapsing the address within the cube.
 	low := addr & ((1 << m.CubeShift) - 1)

@@ -13,9 +13,43 @@ package sim
 // placed at max(requested time, bucket start + occupancy already placed in
 // the bucket). This bounds the error by the bucket width while preserving
 // total capacity exactly.
+//
+// Storage is a sliding ring over the window of recently touched buckets
+// (simulated time only moves forward, so almost every reservation lands
+// near the latest bucket): bucket b lives at ring[b%ringSize] while b is
+// inside [base, base+ringSize). When a reservation advances past the
+// window, the buckets that slide out are retired into the spill map with
+// their state intact, so a straggler reservation behind the window (or a
+// windowed BusyWithin query) still sees exact occupancy. The ring replaces
+// the previous map-of-every-bucket representation: reservation-time lookups
+// become array indexing, and retired buckets cost memory only when nonzero.
 type Calendar struct {
 	width Time
-	used  map[int64]bucket
+	ring  []bucket
+	// base is the lowest bucket index the ring currently represents. It
+	// only grows; bucket b is at ring[b&ringMask] iff base <= b < base+ringSize.
+	base int64
+	// spill retains nonzero buckets that slid out of the ring window, in
+	// fixed-size chunks keyed by bucket>>spillChunkBits. Buckets retire in
+	// increasing order, so consecutive retirements hit the same chunk;
+	// lastSpill caches it and the map is touched once per chunk, not once
+	// per bucket (dense runs retire millions of nonzero buckets — per-bucket
+	// map writes were 18% of an end-to-end run). Chunks materialize only
+	// when a nonzero bucket retires into them, so idle simulated time
+	// (mutator phases between GC events) costs nothing.
+	spill        map[int64]*spillChunk
+	lastSpill    *spillChunk
+	lastSpillIdx int64
+
+	// Incremental horizon accounting, so BusyWithin(h) for h at or beyond
+	// the latest occupied bucket — the overwhelmingly common query, since
+	// metrics collect at the platform clock — is O(1) instead of a scan:
+	// maxBucket is the highest bucket holding occupancy (-1 when empty),
+	// maxBusy its busy time, and belowMax the summed busy of every bucket
+	// before it. Invariant after each Reserve: belowMax + maxBusy == Busy.
+	maxBucket int64
+	maxBusy   Time
+	belowMax  Time
 
 	// Busy accumulates total reserved time (utilization accounting). It
 	// counts whole reservations at reservation time; for time-windowed
@@ -35,6 +69,52 @@ type bucket struct {
 	busy Time
 }
 
+// Ring geometry: 4096 buckets cover ~400 µs of window at the 100 ns DRAM
+// bucket width — orders of magnitude beyond the replay scheduler's thread
+// skew, so out-of-window reservations are pathological, not routine.
+const (
+	calRingBits = 12
+	calRingSize = int64(1) << calRingBits
+	calRingMask = calRingSize - 1
+
+	// Spill chunk geometry: 512 buckets (8 KB) per chunk.
+	spillChunkBits = 9
+	spillChunkSize = int64(1) << spillChunkBits
+	spillChunkMask = spillChunkSize - 1
+)
+
+// spillChunk holds one aligned run of retired buckets.
+type spillChunk [spillChunkSize]bucket
+
+// spillAt returns retired bucket b's state (zero when never spilled).
+func (c *Calendar) spillAt(b int64) bucket {
+	if c.lastSpill != nil && b>>spillChunkBits == c.lastSpillIdx {
+		return c.lastSpill[b&spillChunkMask]
+	}
+	if ch := c.spill[b>>spillChunkBits]; ch != nil {
+		return ch[b&spillChunkMask]
+	}
+	return bucket{}
+}
+
+// spillPut stores retired bucket b's state, materializing its chunk on
+// first use and caching it for the next consecutive retirement.
+func (c *Calendar) spillPut(b int64, bk bucket) {
+	ci := b >> spillChunkBits
+	if c.lastSpill == nil || ci != c.lastSpillIdx {
+		if c.spill == nil {
+			c.spill = make(map[int64]*spillChunk)
+		}
+		ch := c.spill[ci]
+		if ch == nil {
+			ch = new(spillChunk)
+			c.spill[ci] = ch
+		}
+		c.lastSpill, c.lastSpillIdx = ch, ci
+	}
+	c.lastSpill[b&spillChunkMask] = bk
+}
+
 // NewCalendar creates a calendar with the given bucket width. Widths
 // around the resource's typical service time × 20 balance precision and
 // memory (e.g. 100 ns for a DRAM channel).
@@ -42,7 +122,27 @@ func NewCalendar(width Time) *Calendar {
 	if width == 0 {
 		panic("sim: zero calendar width")
 	}
-	return &Calendar{width: width, used: make(map[int64]bucket)}
+	return &Calendar{width: width, ring: make([]bucket, calRingSize), maxBucket: -1}
+}
+
+// slideTo advances the ring window so bucket b fits, retiring outgoing
+// nonzero buckets into the spill map. Amortized O(1) per bucket of
+// simulated time advanced.
+func (c *Calendar) slideTo(b int64) {
+	newBase := b - calRingSize + 1
+	steps := newBase - c.base
+	if steps > calRingSize {
+		steps = calRingSize
+	}
+	for i := int64(0); i < steps; i++ {
+		idx := c.base + i
+		s := &c.ring[idx&calRingMask]
+		if s.highWater != 0 || s.busy != 0 {
+			c.spillPut(idx, *s)
+			*s = bucket{}
+		}
+	}
+	c.base = newBase
 }
 
 // Reserve books dur of occupancy starting no earlier than at, returning
@@ -57,7 +157,16 @@ func (c *Calendar) Reserve(at Time, dur Time) Time {
 	var end Time
 	for remaining > 0 {
 		bucketStart := Time(b) * c.width
-		bk := c.used[b]
+		var bk bucket
+		inRing := b >= c.base
+		if inRing {
+			if b >= c.base+calRingSize {
+				c.slideTo(b)
+			}
+			bk = c.ring[b&calRingMask]
+		} else {
+			bk = c.spillAt(b)
+		}
 		// Position within the bucket: after existing occupancy, and not
 		// before the requested time for the first chunk.
 		pos := bucketStart + bk.highWater
@@ -78,7 +187,24 @@ func (c *Calendar) Reserve(at Time, dur Time) Time {
 		}
 		bk.highWater = (pos + take) - bucketStart
 		bk.busy += take
-		c.used[b] = bk
+		if inRing {
+			c.ring[b&calRingMask] = bk
+		} else {
+			c.spillPut(b, bk)
+		}
+		// Maintain the incremental horizon accounting. Chunks of one
+		// reservation arrive in increasing bucket order, and any bucket
+		// above maxBucket holds no occupancy yet.
+		switch {
+		case b > c.maxBucket:
+			c.belowMax += c.maxBusy
+			c.maxBucket = b
+			c.maxBusy = take
+		case b == c.maxBucket:
+			c.maxBusy += take
+		default:
+			c.belowMax += take
+		}
 		end = pos + take
 		remaining -= take
 		at = end
@@ -91,30 +217,80 @@ func (c *Calendar) Reserve(at Time, dur Time) Time {
 // computed from per-bucket occupancy. Unlike the raw Busy total, a
 // reservation spilling past the horizon contributes only its in-horizon
 // portion, so BusyWithin(h) <= h always holds.
+//
+// Horizons at or beyond the last occupied bucket — every end-of-run
+// utilization query — are answered in O(1) from the incremental
+// accounting; earlier horizons fall back to an exact bucket scan.
 func (c *Calendar) BusyWithin(horizon Time) Time {
-	if horizon == 0 {
+	if horizon == 0 || c.maxBucket < 0 {
 		return 0
 	}
 	lastBucket := int64((horizon - 1) / c.width)
 	var t Time
-	for b, bk := range c.used {
-		switch {
-		case b < lastBucket:
-			t += bk.busy
-		case b == lastBucket:
-			// Bucket straddling the horizon: occupancy within a bucket is
-			// not positioned, so cap the contribution at the in-horizon
-			// width (error bounded by one bucket width).
+	switch {
+	case lastBucket > c.maxBucket:
+		// Every occupied bucket is fully inside the horizon.
+		t = c.belowMax + c.maxBusy
+	case lastBucket == c.maxBucket:
+		// Only the latest bucket straddles the horizon: occupancy within a
+		// bucket is not positioned, so cap the contribution at the
+		// in-horizon width (error bounded by one bucket width).
+		in := horizon - Time(lastBucket)*c.width
+		t = c.belowMax
+		if c.maxBusy < in {
+			t += c.maxBusy
+		} else {
+			t += in
+		}
+	default:
+		t = c.busyWithinScan(horizon, lastBucket)
+	}
+	if t > horizon {
+		t = horizon
+	}
+	return t
+}
+
+// busyWithinScan is the exact slow path for horizons before the latest
+// occupied bucket: sum bucket occupancy over the spill map and the ring
+// window, capping the straddling bucket's contribution.
+func (c *Calendar) busyWithinScan(horizon Time, lastBucket int64) Time {
+	var t Time
+	for ci, ch := range c.spill {
+		for i := range ch {
+			bk := ch[i]
+			if bk.busy == 0 {
+				continue
+			}
+			switch b := ci<<spillChunkBits + int64(i); {
+			case b < lastBucket:
+				t += bk.busy
+			case b == lastBucket:
+				in := horizon - Time(b)*c.width
+				if bk.busy < in {
+					t += bk.busy
+				} else {
+					t += in
+				}
+			}
+		}
+	}
+	hi := c.maxBucket
+	if hi > lastBucket {
+		hi = lastBucket
+	}
+	for b := c.base; b <= hi; b++ {
+		bk := c.ring[b&calRingMask]
+		if b == lastBucket {
 			in := horizon - Time(b)*c.width
 			if bk.busy < in {
 				t += bk.busy
 			} else {
 				t += in
 			}
+			continue
 		}
-	}
-	if t > horizon {
-		t = horizon
+		t += bk.busy
 	}
 	return t
 }

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// driveBoth replays one deterministic operation sequence on the ring
+// Calendar and the map-based reference, failing on the first divergence in
+// Reserve results, Busy totals, BusyWithin, or Utilization.
+func driveBoth(t *testing.T, seed int64, width Time, nops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ring := NewCalendar(width)
+	ref := newReferenceCalendar(width)
+	// Mix near-window, far-future, and behind-the-window reservations: the
+	// cursor random-walks forward so the ring both slides and takes
+	// stragglers below its base.
+	var cursor Time
+	for i := 0; i < nops; i++ {
+		var at Time
+		switch rng.Intn(8) {
+		case 0: // far jump forward (forces ring slides)
+			cursor += Time(rng.Intn(int(width) * 6000))
+			at = cursor
+		case 1: // behind the window (spill-map path)
+			at = Time(rng.Intn(int(cursor) + 1))
+		default: // near the cursor
+			at = cursor + Time(rng.Intn(int(width)*20))
+		}
+		dur := Time(rng.Intn(int(width) * 4))
+		gotEnd, wantEnd := ring.Reserve(at, dur), ref.Reserve(at, dur)
+		if gotEnd != wantEnd {
+			t.Fatalf("op %d: Reserve(%d, %d) = %d, reference %d", i, at, dur, gotEnd, wantEnd)
+		}
+		if ring.Busy != ref.Busy {
+			t.Fatalf("op %d: Busy = %d, reference %d", i, ring.Busy, ref.Busy)
+		}
+		if gotEnd > cursor {
+			cursor = gotEnd
+		}
+		if i%7 == 0 {
+			h := Time(rng.Intn(int(cursor) + int(width)*10 + 1))
+			got, want := ring.BusyWithin(h), ref.BusyWithin(h)
+			if got != want {
+				t.Fatalf("op %d: BusyWithin(%d) = %d, reference %d", i, h, got, want)
+			}
+			if gu, wu := ring.Utilization(h), ref.Utilization(h); gu != wu {
+				t.Fatalf("op %d: Utilization(%d) = %v, reference %v", i, h, gu, wu)
+			}
+		}
+	}
+	// Terminal sweep: horizons below, at, and beyond the busiest bucket.
+	for _, h := range []Time{0, 1, width, cursor / 2, cursor, cursor + width, cursor * 2} {
+		got, want := ring.BusyWithin(h), ref.BusyWithin(h)
+		if got != want {
+			t.Fatalf("final BusyWithin(%d) = %d, reference %d", h, got, want)
+		}
+	}
+}
+
+// TestCalendarRingMatchesReference pins the equivalence on fixed seeds so
+// the property is exercised on every `go test` run, not only under fuzzing.
+func TestCalendarRingMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for _, width := range []Time{1, 7, 100, 100000} {
+			driveBoth(t, seed, width, 400)
+		}
+	}
+}
+
+// FuzzCalendarRingEquivalence drives the ring Calendar and the retained
+// map-based reference with identical random Reserve/BusyWithin/Utilization
+// sequences; any divergence is a bug in the ring rewrite. Wired into
+// `make fuzz` alongside the config fuzzer.
+func FuzzCalendarRingEquivalence(f *testing.F) {
+	f.Add(int64(1), uint64(100), uint(200))
+	f.Add(int64(42), uint64(1), uint(300))
+	f.Add(int64(7), uint64(50*1000), uint(150))
+	f.Fuzz(func(t *testing.T, seed int64, width uint64, nops uint) {
+		if width == 0 || width > uint64(Second) {
+			t.Skip()
+		}
+		if nops > 500 {
+			nops = 500
+		}
+		driveBoth(t, seed, Time(width), int(nops))
+	})
+}

@@ -1,0 +1,86 @@
+package sim
+
+// referenceCalendar is the original map-of-every-bucket Calendar, kept
+// verbatim as the behavioural reference for the ring-buffer rewrite: the
+// equivalence tests and FuzzCalendarRingEquivalence drive both
+// implementations with identical operation sequences and require identical
+// results. Test-only — the simulator proper uses the ring Calendar.
+type referenceCalendar struct {
+	width Time
+	used  map[int64]bucket
+	Busy  Time
+}
+
+func newReferenceCalendar(width Time) *referenceCalendar {
+	if width == 0 {
+		panic("sim: zero calendar width")
+	}
+	return &referenceCalendar{width: width, used: make(map[int64]bucket)}
+}
+
+func (c *referenceCalendar) Reserve(at Time, dur Time) Time {
+	if dur == 0 {
+		return at
+	}
+	c.Busy += dur
+	b := int64(at / c.width)
+	remaining := dur
+	var end Time
+	for remaining > 0 {
+		bucketStart := Time(b) * c.width
+		bk := c.used[b]
+		pos := bucketStart + bk.highWater
+		if pos < at {
+			pos = at
+		}
+		avail := bucketStart + c.width - pos
+		if avail <= 0 {
+			b++
+			continue
+		}
+		take := remaining
+		if take > avail {
+			take = avail
+		}
+		bk.highWater = (pos + take) - bucketStart
+		bk.busy += take
+		c.used[b] = bk
+		end = pos + take
+		remaining -= take
+		at = end
+		b++
+	}
+	return end
+}
+
+func (c *referenceCalendar) BusyWithin(horizon Time) Time {
+	if horizon == 0 {
+		return 0
+	}
+	lastBucket := int64((horizon - 1) / c.width)
+	var t Time
+	for b, bk := range c.used {
+		switch {
+		case b < lastBucket:
+			t += bk.busy
+		case b == lastBucket:
+			in := horizon - Time(b)*c.width
+			if bk.busy < in {
+				t += bk.busy
+			} else {
+				t += in
+			}
+		}
+	}
+	if t > horizon {
+		t = horizon
+	}
+	return t
+}
+
+func (c *referenceCalendar) Utilization(horizon Time) float64 {
+	if horizon == 0 {
+		return 0
+	}
+	return float64(c.BusyWithin(horizon)) / float64(horizon)
+}

@@ -11,8 +11,6 @@
 // configuration always produces the same cycle counts.
 package sim
 
-import "container/heap"
-
 // Time is a simulated instant or duration in picoseconds.
 type Time uint64
 
@@ -38,25 +36,61 @@ type event struct {
 	fn  func()
 }
 
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*event
+// eventQueue is a binary min-heap of events ordered by (at, seq), stored
+// by value: pushing reuses the slice's spare capacity instead of boxing a
+// node per Schedule (the previous container/heap implementation allocated
+// one *event per scheduled callback). The unique seq tie-break makes the
+// pop order a total order, independent of internal heap layout.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+// push appends ev and sifts it up.
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event, zeroing the vacated slot so
+// the queue never retains a fired event's payload (the callback closure
+// would otherwise stay reachable until overwritten).
+func (q *eventQueue) pop() event {
+	h := *q
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		m := left
+		if right := left + 1; right < n && h.less(right, left) {
+			m = right
+		}
+		if !h.less(m, i) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return ev
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -97,7 +131,7 @@ func (e *Engine) Diagnostics() Diagnostics {
 // Schedule runs fn after delay (possibly zero) relative to Now.
 func (e *Engine) Schedule(delay Time, fn func()) {
 	e.seq++
-	heap.Push(&e.queue, &event{at: e.now + delay, seq: e.seq, fn: fn})
+	e.queue.push(event{at: e.now + delay, seq: e.seq, fn: fn})
 	if len(e.queue) > e.maxQueue {
 		e.maxQueue = len(e.queue)
 	}
@@ -110,7 +144,7 @@ func (e *Engine) At(t Time, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	e.queue.push(event{at: t, seq: e.seq, fn: fn})
 	if len(e.queue) > e.maxQueue {
 		e.maxQueue = len(e.queue)
 	}
@@ -131,7 +165,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.queue.pop()
 	advanced := ev.at > e.now
 	e.now = ev.at
 	e.nsteps++

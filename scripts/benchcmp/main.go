@@ -1,0 +1,162 @@
+// Command benchcmp compares two `go test -bench` outputs and emits a
+// BENCH.json perf record. It is the regression arbiter behind
+// scripts/bench_gate.sh: the gate fails when the geometric-mean ns/op
+// ratio (new/old) over the benchmarks common to both files exceeds
+// 1 + max-regress.
+//
+// benchstat (golang.org/x/perf) gives nicer statistics when installed;
+// this tool exists so the gate runs hermetically from a plain Go
+// toolchain, with no module downloads.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp -old bench_baseline.txt -new bench_new.txt \
+//	    -json BENCH.json [-max-regress 0.10]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches e.g. "BenchmarkCalendarReserve-8   1000  123.4 ns/op ..."
+// (the -N GOMAXPROCS suffix is optional: single-CPU runs omit it).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parse returns benchmark name -> mean ns/op (averaging repeated runs).
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sum := map[string]float64{}
+	count := map[string]int{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		sum[m[1]] += ns
+		count[m[1]]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(sum))
+	for name, s := range sum {
+		out[name] = s / float64(count[name])
+	}
+	return out, nil
+}
+
+type comparison struct {
+	Name  string  `json:"name"`
+	OldNs float64 `json:"old_ns_op"`
+	NewNs float64 `json:"new_ns_op"`
+	Ratio float64 `json:"ratio"` // new/old; < 1 is a speedup
+}
+
+type report struct {
+	Benchmarks   []comparison `json:"benchmarks"`
+	OnlyOld      []string     `json:"only_in_baseline,omitempty"`
+	OnlyNew      []string     `json:"only_in_new,omitempty"`
+	GeomeanRatio float64      `json:"geomean_ratio"`
+	MaxRegress   float64      `json:"max_regress"`
+	Pass         bool         `json:"pass"`
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline benchmark output")
+	newPath := flag.String("new", "", "new benchmark output")
+	jsonPath := flag.String("json", "", "write the comparison record here (optional)")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum tolerated geomean regression (0.10 = +10% ns/op)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -old and -new are required")
+		os.Exit(2)
+	}
+	oldBench, err := parse(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	newBench, err := parse(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	var rep report
+	rep.MaxRegress = *maxRegress
+	logSum := 0.0
+	for name, oldNs := range oldBench {
+		newNs, ok := newBench[name]
+		if !ok {
+			rep.OnlyOld = append(rep.OnlyOld, name)
+			continue
+		}
+		ratio := newNs / oldNs
+		rep.Benchmarks = append(rep.Benchmarks, comparison{Name: name, OldNs: oldNs, NewNs: newNs, Ratio: ratio})
+		logSum += math.Log(ratio)
+	}
+	for name := range newBench {
+		if _, ok := oldBench[name]; !ok {
+			rep.OnlyNew = append(rep.OnlyNew, name)
+		}
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmarks common to both files")
+		os.Exit(2)
+	}
+	rep.GeomeanRatio = math.Exp(logSum / float64(len(rep.Benchmarks)))
+	rep.Pass = rep.GeomeanRatio <= 1+*maxRegress
+
+	for _, c := range rep.Benchmarks {
+		fmt.Printf("%-40s %14.1f -> %14.1f ns/op  (%+.1f%%)\n",
+			c.Name, c.OldNs, c.NewNs, (c.Ratio-1)*100)
+	}
+	for _, n := range rep.OnlyOld {
+		fmt.Printf("%-40s only in baseline (skipped)\n", n)
+	}
+	for _, n := range rep.OnlyNew {
+		fmt.Printf("%-40s only in new run (no baseline yet)\n", n)
+	}
+	fmt.Printf("geomean ratio %.3f over %d benchmarks (gate: <= %.3f)\n",
+		rep.GeomeanRatio, len(rep.Benchmarks), 1+*maxRegress)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(2)
+		}
+	}
+	if !rep.Pass {
+		fmt.Fprintf(os.Stderr, "benchcmp: FAIL: geomean regression %.1f%% exceeds %.1f%%\n",
+			(rep.GeomeanRatio-1)*100, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: PASS")
+}
