@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke lint ci
+.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke serve-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,12 @@ fuzz:
 resume-smoke:
 	./scripts/resume_smoke.sh
 
+# Serving smoke: boot charond, run a job over HTTP, assert the report is
+# byte-identical to the CLI's, assert resubmission is a cache hit, then
+# SIGTERM and assert a clean drain (see the script). Needs curl + jq.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # Serial-vs-parallel wall-time comparison (also verifies byte-identical
 # output across parallelism settings).
 parbench:
@@ -87,4 +93,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
 	fi
 
-ci: lint build test race audit faults resume-smoke
+ci: lint build test race audit faults resume-smoke serve-smoke

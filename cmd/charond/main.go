@@ -1,0 +1,32 @@
+// Command charond is the long-running simulation service: an HTTP job
+// API over the charonsim experiment harness, with bounded admission
+// queueing, single-flight deduplication, and a checkpoint-backed result
+// cache that survives restarts.
+//
+// Usage:
+//
+//	charond -addr 127.0.0.1:8080 -workers 2 -queue 16 -cache-dir /var/lib/charond
+//
+// Submit a job and read its report:
+//
+//	curl -d '{"experiment":"fig12","workloads":["BS"]}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/<id>
+//	curl localhost:8080/v1/jobs/<id>/result
+//
+// A served report is byte-identical to the equivalent charonsim CLI
+// invocation (minus the CLI's wall-clock trailer). SIGINT/SIGTERM drain
+// gracefully: admission stops, in-flight jobs finish (or are checkpointed
+// at the replay-unit level once -drain-timeout expires), and the process
+// exits 0 on a clean drain. See internal/server for the endpoint and
+// exit-code reference.
+package main
+
+import (
+	"os"
+
+	"charonsim/internal/server"
+)
+
+func main() {
+	os.Exit(server.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -46,12 +46,15 @@ type Store struct {
 	hits, misses, discards, writeErrs atomic.Uint64
 }
 
-// Open creates (if needed) and opens a checkpoint directory.
+// Open creates (if needed) and opens a checkpoint directory. Created
+// directories are 0o755 — owner-writable only; the store holds simulation
+// results, and a world-writable directory would let any local user plant
+// entries.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("checkpoint: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
 	return &Store{dir: dir}, nil
@@ -68,10 +71,19 @@ type entry struct {
 	Payload  json.RawMessage `json:"payload"`
 }
 
+// KeyHash is the content address of a canonical key string — the hex
+// digest the store names its entry files with. It is exported so other
+// layers that key on the same canonical descriptors (the charond result
+// cache derives its job ids from it) stay byte-compatible with the store
+// without re-deriving the hashing scheme.
+func KeyHash(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])[:32]
+}
+
 // pathFor content-addresses a canonical key string.
 func (s *Store) pathFor(key string) string {
-	sum := sha256.Sum256([]byte(key))
-	return filepath.Join(s.dir, hex.EncodeToString(sum[:])[:32]+suffix)
+	return filepath.Join(s.dir, KeyHash(key)+suffix)
 }
 
 func payloadChecksum(payload []byte) string {
@@ -138,7 +150,16 @@ func (s *Store) Stats() (hits, misses, discards, writeErrs uint64) {
 	return s.hits.Load(), s.misses.Load(), s.discards.Load(), s.writeErrs.Load()
 }
 
-// Len counts the entries currently on disk (validity not checked).
+// isEntryName reports whether a directory entry name is a published store
+// entry. In-flight atomicio temp files are dot-prefixed
+// (".<name>.tmp-<rand>"), so skipping dot names keeps Len stable under
+// concurrent writers and keeps Verify from touching a write in progress.
+func isEntryName(name string) bool {
+	return !strings.HasPrefix(name, ".") && strings.HasSuffix(name, suffix)
+}
+
+// Len counts the published entries currently on disk (validity not
+// checked). In-flight temp files from concurrent writers are excluded.
 func (s *Store) Len() (int, error) {
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
@@ -146,7 +167,7 @@ func (s *Store) Len() (int, error) {
 	}
 	n := 0
 	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), suffix) {
+		if !e.IsDir() && isEntryName(e.Name()) {
 			n++
 		}
 	}
@@ -162,7 +183,7 @@ func (s *Store) Verify() (valid, discarded int, err error) {
 		return 0, 0, fmt.Errorf("checkpoint: %w", err)
 	}
 	for _, de := range ents {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), suffix) {
+		if de.IsDir() || !isEntryName(de.Name()) {
 			continue
 		}
 		path := filepath.Join(s.dir, de.Name())

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -172,5 +173,67 @@ func TestNilStoreIsInert(t *testing.T) {
 func TestOpenRejectsEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Fatal("want error")
+	}
+}
+
+func TestOpenCreatesNonWorldWritableDir(t *testing.T) {
+	// A permissive umask must not yield a world-writable store: any local
+	// user could plant entries. Open passes 0o755, so even umask 0 keeps
+	// group/other write bits off.
+	old := syscall.Umask(0)
+	defer syscall.Umask(old)
+	dir := filepath.Join(t.TempDir(), "nested", "store")
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm := fi.Mode().Perm(); perm&0o022 != 0 {
+		t.Fatalf("store dir is group/world writable: %04o", perm)
+	}
+}
+
+func TestLenSkipsInflightTempFiles(t *testing.T) {
+	s := open(t)
+	if err := s.Put("a", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	// Shapes an in-flight atomicio temp file can take (dot-prefixed, with
+	// and without the entry suffix buried in the name). None may count.
+	for _, name := range []string{
+		".0a1b.ckpt.json.tmp-123456",
+		".0a1b.ckpt.json",
+		".hidden",
+	} {
+		if err := os.WriteFile(filepath.Join(s.Dir(), name), []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1 (temp files must not count)", n, err)
+	}
+	// Verify must not delete an in-flight temp either.
+	valid, discarded, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != 1 || discarded != 0 {
+		t.Fatalf("Verify = %d valid, %d discarded; want 1, 0", valid, discarded)
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), ".0a1b.ckpt.json.tmp-123456")); err != nil {
+		t.Fatalf("in-flight temp file was removed: %v", err)
+	}
+}
+
+func TestKeyHashMatchesEntryFilename(t *testing.T) {
+	s := open(t)
+	if err := s.Put("some|canonical|key", json.RawMessage(`true`)); err != nil {
+		t.Fatal(err)
+	}
+	want := KeyHash("some|canonical|key") + ".ckpt.json"
+	if _, err := os.Stat(filepath.Join(s.Dir(), want)); err != nil {
+		t.Fatalf("KeyHash-derived filename %q not found: %v", want, err)
 	}
 }

@@ -21,7 +21,6 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 	"time"
 
@@ -35,25 +34,19 @@ import (
 func Run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("charonsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var sf SimFlags
+	sf.Register(fs)
 	var (
-		exp            = fs.String("exp", "all", "experiment id (see -list) or 'all'")
-		threads        = fs.Int("threads", 8, "GC thread count")
-		factor         = fs.Float64("factor", 1.5, "heap overprovisioning factor (1.0 = minimum heap)")
-		workloads      = fs.String("workloads", "", "comma-separated workload subset (default: all six)")
-		parallel       = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS, -1 = serial); output is identical at any setting")
-		list           = fs.Bool("list", false, "list experiments and workloads, then exit")
-		metricsPath    = fs.String("metrics", "", "write a component-counter snapshot here after the run (.csv = CSV, otherwise JSON)")
-		tracePath      = fs.String("trace", "", "write a chrome://tracing JSON event trace here (JSON only; requires -metrics)")
-		faultRate      = fs.Float64("fault-rate", 0, "master fault-injection rate in [0, 1): link CRC errors plus derived ECC/bank/unit fault rates (0 = faults off)")
-		faultSeed      = fs.Int64("fault-seed", 0, "deterministic fault pattern seed (requires a nonzero -fault-rate or -offload-deadline)")
-		deadline       = fs.Duration("offload-deadline", 0, "Charon offload watchdog: offloads exceeding this re-run on the host cores (0 = off)")
-		runTimeout     = fs.Duration("run-timeout", 0, "wall-clock budget per simulation run; also arms the engine watchdog heartbeat (0 = unbounded)")
-		checkpointDir  = fs.String("checkpoint-dir", "", "persist each completed replay unit here; re-running after an interruption resumes, executing only the missing units (incompatible with -metrics/-trace)")
-		watchdogStalls = fs.Int("watchdog-stalls", 0, "engine watchdog: consecutive zero-advance steps before a run is declared wedged (0 = default, -1 = disable)")
-		watchdogQueue  = fs.Int("watchdog-queue", 0, "engine watchdog: event-queue depth bound (0 = default, -1 = disable)")
-		dumpPath       = fs.String("watchdog-dump", "", "on a watchdog abort, write the diagnostic dump to this file as well as stderr")
+		exp      = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = fs.Bool("list", false, "list experiments and workloads, then exit")
+		dumpPath = fs.String("watchdog-dump", "", "on a watchdog abort, write the diagnostic dump to this file as well as stderr")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h/-help asked for the usage text (already printed by Parse);
+			// that is a success, not a configuration error.
+			return 0
+		}
 		return 2
 	}
 
@@ -70,14 +63,10 @@ func Run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	cfg := charonsim.Config{Threads: *threads, HeapFactor: *factor, Parallelism: *parallel,
-		MetricsPath: *metricsPath, TracePath: *tracePath,
-		FaultRate: *faultRate, FaultSeed: *faultSeed,
-		OffloadDeadline: *deadline, RunTimeout: *runTimeout,
-		CheckpointDir:  *checkpointDir,
-		WatchdogStalls: *watchdogStalls, WatchdogQueue: *watchdogQueue}
-	if *workloads != "" {
-		cfg.Workloads = strings.Split(*workloads, ",")
+	cfg, err := sf.Config()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(stderr, err)
@@ -93,7 +82,6 @@ func Run(args []string, stdout, stderr io.Writer) int {
 
 	start := time.Now()
 	var reports []*charonsim.Report
-	var err error
 	if *exp == "all" {
 		reports, err = charonsim.RunAllContext(ctx, cfg)
 	} else {
@@ -103,9 +91,7 @@ func Run(args []string, stdout, stderr io.Writer) int {
 			reports = append(reports, r)
 		}
 	}
-	for _, r := range reports {
-		fmt.Fprintf(stdout, "== %s: %s ==\n%s\n", r.ID, r.Title, r.Text)
-	}
+	RenderReports(stdout, reports)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		var np *sim.NoProgressError

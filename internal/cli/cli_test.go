@@ -164,3 +164,91 @@ func TestSigintResumesByteIdentical(t *testing.T) {
 		t.Fatalf("resumed output diverged from uninterrupted run:\n--- resumed ---\n%s\n--- golden ---\n%s", got, want)
 	}
 }
+
+// TestHelpExitsZero: -h/-help ask for the usage text; flag.ErrHelp must
+// map to exit 0, not the configuration-error code 2.
+func TestHelpExitsZero(t *testing.T) {
+	for _, flagName := range []string{"-h", "-help", "--help"} {
+		var out, errb bytes.Buffer
+		if code := Run([]string{flagName}, &out, &errb); code != 0 {
+			t.Errorf("%s exited %d, want 0 (stderr: %s)", flagName, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "Usage of charonsim") {
+			t.Errorf("%s printed no usage text:\n%s", flagName, errb.String())
+		}
+	}
+}
+
+// TestHelpExitsZeroSubprocess runs -h through a real process so the exit
+// status the shell sees — not just Run's return value — is pinned.
+func TestHelpExitsZeroSubprocess(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperProcess$")
+	cmd.Env = append(os.Environ(), "CHARONSIM_CLI_HELPER=1", "CHARONSIM_CLI_ARGS=-h")
+	var sub bytes.Buffer
+	cmd.Stdout = &sub
+	cmd.Stderr = &sub
+	err := cmd.Run()
+	if code := cmd.ProcessState.ExitCode(); err != nil || code != 0 {
+		t.Fatalf("charonsim -h exited %d (err %v); want 0. Output:\n%s", code, err, sub.String())
+	}
+	if !strings.Contains(sub.String(), "Usage of charonsim") {
+		t.Fatalf("no usage text on -h:\n%s", sub.String())
+	}
+}
+
+func TestSplitWorkloads(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+		err  bool
+	}{
+		{in: "BS", want: []string{"BS"}},
+		{in: "BS,KM", want: []string{"BS", "KM"}},
+		{in: "BS, KM", want: []string{"BS", "KM"}},
+		{in: " BS , KM ", want: []string{"BS", "KM"}},
+		{in: "BS,,KM", want: []string{"BS", "KM"}},
+		{in: ",BS,", want: []string{"BS"}},
+		{in: "\tBS\n", want: []string{"BS"}},
+		{in: ",", err: true},
+		{in: " , ", err: true},
+		{in: ",,,", err: true},
+		{in: "   ", err: true},
+	}
+	for _, c := range cases {
+		got, err := SplitWorkloads(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("SplitWorkloads(%q) = %v, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("SplitWorkloads(%q): %v", c.in, err)
+			continue
+		}
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("SplitWorkloads(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWorkloadsFlagToleratesWhitespace: the end-to-end regression for the
+// -workloads parsing fix — sloppy-but-unambiguous token lists run, and a
+// token-free list is a clear configuration error.
+func TestWorkloadsFlagToleratesWhitespace(t *testing.T) {
+	var out, errb bytes.Buffer
+	// table4 is render-only, so the run is fast — the point is that the
+	// sloppy list survives SplitWorkloads and then Config.Validate.
+	if code := Run([]string{"-exp", "table4", "-workloads", "BS, ,", "-parallel", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("whitespace workload list exited %d: %s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := Run([]string{"-exp", "fig2", "-workloads", " , "}, &out, &errb); code != 2 {
+		t.Fatalf("token-free workload list exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "no workload names") {
+		t.Fatalf("token-free workload list error is not clear:\n%s", errb.String())
+	}
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"charonsim"
+	"charonsim/internal/checkpoint"
+	"charonsim/internal/cli"
+)
+
+// jobSchema versions the canonical job descriptor and the cached result
+// payload; bump it whenever either changes meaning, so a warm restart
+// against an old cache directory misses cleanly instead of serving stale
+// responses.
+const jobSchema = 1
+
+// JobSpec is the wire format of a job submission (POST /v1/jobs). It maps
+// onto charonsim.Config plus the experiment id; durations travel as
+// strings in time.ParseDuration syntax ("250ms", "2m"). Server-side paths
+// (metrics/trace exports, checkpoint directories) are deliberately not
+// client-settable: the server owns its filesystem.
+type JobSpec struct {
+	// Experiment is an experiment id from charonsim.Experiments(), or
+	// "all" for the full suite.
+	Experiment string `json:"experiment"`
+
+	Threads        int      `json:"threads,omitempty"`
+	HeapFactor     float64  `json:"heap_factor,omitempty"`
+	Workloads      []string `json:"workloads,omitempty"`
+	Parallelism    int      `json:"parallelism,omitempty"`
+	FaultRate      float64  `json:"fault_rate,omitempty"`
+	FaultSeed      int64    `json:"fault_seed,omitempty"`
+	OffloadDeadln  string   `json:"offload_deadline,omitempty"`
+	RunTimeout     string   `json:"run_timeout,omitempty"`
+	WatchdogStalls int      `json:"watchdog_stalls,omitempty"`
+	WatchdogQueue  int      `json:"watchdog_queue,omitempty"`
+}
+
+// Resolve validates the spec and returns the charonsim.Config it maps to
+// plus the canonical descriptor key the job is deduplicated and cached
+// under. The key covers every result-affecting knob with CLI-visible
+// defaults resolved (threads 0 ⇒ 8, factor 0 ⇒ 1.5, empty workloads ⇒
+// all six), so {"experiment":"fig12"} and an explicit
+// {"experiment":"fig12","threads":8,...} are the same job.
+func (sp JobSpec) Resolve() (charonsim.Config, string, error) {
+	var cfg charonsim.Config
+	if sp.Experiment == "" {
+		return cfg, "", fmt.Errorf("missing experiment id (one of %v, or \"all\")", charonsim.Experiments())
+	}
+	if sp.Experiment != "all" && !knownExperiment(sp.Experiment) {
+		return cfg, "", fmt.Errorf("unknown experiment %q (have %v, or \"all\")", sp.Experiment, charonsim.Experiments())
+	}
+	deadline, err := parseDuration("offload_deadline", sp.OffloadDeadln)
+	if err != nil {
+		return cfg, "", err
+	}
+	timeout, err := parseDuration("run_timeout", sp.RunTimeout)
+	if err != nil {
+		return cfg, "", err
+	}
+	cfg = charonsim.Config{
+		Threads: sp.Threads, HeapFactor: sp.HeapFactor,
+		Workloads:   cli.CleanWorkloads(sp.Workloads),
+		Parallelism: sp.Parallelism,
+		FaultRate:   sp.FaultRate, FaultSeed: sp.FaultSeed,
+		OffloadDeadline: deadline, RunTimeout: timeout,
+		WatchdogStalls: sp.WatchdogStalls, WatchdogQueue: sp.WatchdogQueue,
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, "", err
+	}
+	return cfg, canonicalKey(sp.Experiment, cfg), nil
+}
+
+func knownExperiment(id string) bool {
+	ids := charonsim.Experiments()
+	i := sort.SearchStrings(ids, id)
+	return i < len(ids) && ids[i] == id
+}
+
+func parseDuration(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w (want Go duration syntax, e.g. \"250ms\")", field, err)
+	}
+	return d, nil
+}
+
+// canonicalKey renders the fully-resolved job descriptor as the canonical
+// string the result cache and job ids hash. Field-by-field, defaults
+// resolved; any knob change — including ones like Parallelism that are
+// documented not to change bytes — misses conservatively, mirroring the
+// checkpoint layer's invalidation rule.
+func canonicalKey(experiment string, cfg charonsim.Config) string {
+	threads := cfg.Threads
+	if threads == 0 {
+		threads = 8
+	}
+	factor := cfg.HeapFactor
+	if factor == 0 {
+		factor = 1.5
+	}
+	wl := cfg.Workloads
+	if len(wl) == 0 {
+		wl = charonsim.Workloads()
+	}
+	return fmt.Sprintf(
+		"job/v%d|exp=%s|threads=%d|factor=%.6g|wl=%s|par=%d|frate=%.6g|fseed=%d|deadline=%d|timeout=%d|wstalls=%d|wqueue=%d",
+		jobSchema, experiment, threads, factor, strings.Join(wl, ","), cfg.Parallelism,
+		cfg.FaultRate, cfg.FaultSeed, cfg.OffloadDeadline.Nanoseconds(), cfg.RunTimeout.Nanoseconds(),
+		cfg.WatchdogStalls, cfg.WatchdogQueue)
+}
+
+// jobID derives the externally-visible job id from the canonical key via
+// the checkpoint layer's content addressing — the same submission always
+// yields the same id, on any charond instance.
+func jobID(key string) string { return checkpoint.KeyHash(key)[:16] }
+
+// Job states.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// job is one tracked submission. The id is the hash of the canonical
+// descriptor, so identical submissions share a job (single-flight dedup).
+type job struct {
+	id   string
+	key  string
+	spec JobSpec
+	cfg  charonsim.Config // resolved; server-side fields filled at run time
+
+	mu       sync.Mutex
+	state    string
+	cached   bool // result served from the response cache, not computed
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	text     string // rendered report (CLI format, no wall-clock trailer)
+	errMsg   string
+	cancel   context.CancelFunc // non-nil while running
+	canceled bool               // cancellation requested (DELETE or drain)
+	done     chan struct{}      // closed on any terminal state
+}
+
+// view is the JSON representation of a job.
+type view struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Experiment string `json:"experiment"`
+	Cached     bool   `json:"cached"`
+	Created    string `json:"created,omitempty"`
+	Started    string `json:"started,omitempty"`
+	Finished   string `json:"finished,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Self       string `json:"self"`
+	Result     string `json:"result"`
+}
+
+func (j *job) view() view {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := view{
+		ID: j.id, State: j.state, Experiment: j.spec.Experiment,
+		Cached: j.cached, Error: j.errMsg,
+		Self:   "/v1/jobs/" + j.id,
+		Result: "/v1/jobs/" + j.id + "/result",
+	}
+	if !j.created.IsZero() {
+		v.Created = j.created.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.started.IsZero() {
+		v.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+// snapshot returns the fields the result endpoint needs, consistently.
+func (j *job) snapshot() (state, text, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.text, j.errMsg
+}

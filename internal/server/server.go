@@ -1,0 +1,649 @@
+// Package server implements charond, the long-running simulation service:
+// an HTTP job API over the charonsim experiment harness. Jobs (an
+// experiment id plus a charonsim.Config) are validated at admission,
+// queued into a bounded admission queue with backpressure (429 +
+// Retry-After when full), executed on a fixed worker pool through the
+// public RunContext/RunAllContext entry points (which share recorded
+// workloads within a job via experiments.Session), and cached: identical
+// submissions are deduplicated single-flight in memory and served from a
+// checkpoint-backed response cache on disk, so a warm restart answers
+// repeat jobs without simulating.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit (202; 200 on dedup/cache hit; 429 full; 503 draining)
+//	GET    /v1/jobs             list tracked jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result rendered report (CLI byte-identical)
+//	DELETE /v1/jobs/{id}        cancel (context-propagated, event-loop granularity)
+//	GET    /healthz             liveness
+//	GET    /readyz              readiness (503 while draining)
+//	GET    /v1/metrics          server + cache counters (internal/metrics snapshot)
+//
+// Graceful drain: Drain stops admission, lets queued/running jobs finish,
+// and on deadline expiry cancels in-flight jobs — whose completed replay
+// units are already persisted in the shared per-unit checkpoint store, so
+// a restarted server resumes them instead of recomputing.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"charonsim"
+	"charonsim/internal/checkpoint"
+	"charonsim/internal/cli"
+	"charonsim/internal/metrics"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the number of concurrent job executors (default 2). Each
+	// job additionally fans its simulation units out per its own
+	// Parallelism knob, so keep Workers small.
+	Workers int
+	// QueueDepth bounds the admission queue (default 16). A full queue
+	// rejects submissions with 429 + Retry-After.
+	QueueDepth int
+	// CacheDir, when non-empty, enables the on-disk layer: completed job
+	// reports are persisted in CacheDir/results (checkpoint-backed,
+	// checksummed, atomic) and served on identical resubmission across
+	// restarts, and jobs run with CacheDir/units as their per-unit
+	// checkpoint store so partially-completed work survives a drain.
+	// Empty keeps both caches in memory only (dedup still works within
+	// the process lifetime).
+	CacheDir string
+	// JobTimeout, when positive, is the default per-unit RunTimeout
+	// applied to jobs that do not set run_timeout themselves. It reuses
+	// the existing RunTimeout plumbing: the harness worker pool budget
+	// plus the engine watchdog heartbeat.
+	JobTimeout time.Duration
+	// MaxJobs bounds the in-memory job table (default 1024); when
+	// exceeded, the oldest terminal jobs are evicted. Their results stay
+	// servable from the disk cache.
+	MaxJobs int
+	// Log receives structured request and lifecycle logs (nil = discard).
+	Log *slog.Logger
+
+	// runner executes one job and returns the rendered report. Tests
+	// substitute a controllable stub; nil selects the real experiment
+	// harness.
+	runner func(ctx context.Context, experiment string, cfg charonsim.Config) (string, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Log == nil {
+		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.runner == nil {
+		c.runner = runExperiments
+	}
+	return c
+}
+
+// Server is the charond job service. Create with New, serve Handler(),
+// stop with Drain.
+type Server struct {
+	cfg      Config
+	log      *slog.Logger
+	reg      *metrics.Registry
+	results  *checkpoint.Store // response cache; nil without CacheDir
+	unitsDir string            // per-unit checkpoint store for jobs; "" without CacheDir
+
+	baseCtx    context.Context // parent of every job context
+	baseCancel context.CancelFunc
+
+	mu          sync.Mutex
+	jobs        map[string]*job
+	queue       chan *job
+	draining    bool
+	queueClosed bool
+	wg          sync.WaitGroup // worker goroutines
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:  cfg,
+		log:  cfg.Log,
+		reg:  metrics.NewRegistry(),
+		jobs: map[string]*job{},
+	}
+	if cfg.CacheDir != "" {
+		st, err := checkpoint.Open(filepath.Join(cfg.CacheDir, "results"))
+		if err != nil {
+			return nil, fmt.Errorf("server: result cache: %w", err)
+		}
+		s.results = st
+		s.unitsDir = filepath.Join(cfg.CacheDir, "units")
+		if _, err := checkpoint.Open(s.unitsDir); err != nil {
+			return nil, fmt.Errorf("server: unit store: %w", err)
+		}
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.queue = make(chan *job, cfg.QueueDepth)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Metrics exposes the server's registry (tests and the /v1/metrics
+// endpoint read it).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Handler returns the HTTP API with request logging applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.isDraining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	return s.logRequests(mux)
+}
+
+// statusRecorder captures the response code for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr)
+	})
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// writeJSON writes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds submission bodies; a job spec is a handful of
+// scalar knobs, so anything beyond this is malformed or hostile.
+const maxBodyBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	cfg, key, err := spec.Resolve()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	j, status, err := s.submit(spec, cfg, key)
+	if err != nil {
+		switch status {
+		case http.StatusTooManyRequests:
+			w.Header().Set("Retry-After", "1")
+		case http.StatusServiceUnavailable:
+			w.Header().Set("Retry-After", "5")
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, status, j.view())
+}
+
+// submit deduplicates, consults the response cache, and enqueues. The
+// returned status is 200 for an existing/cached job, 202 for a freshly
+// queued one.
+func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string) (*job, int, error) {
+	id := jobID(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.jobs[id]; ok {
+		existing.mu.Lock()
+		state := existing.state
+		existing.mu.Unlock()
+		switch state {
+		case StateQueued, StateRunning, StateDone:
+			// Single-flight dedup: same descriptor, same job.
+			s.reg.AddUint("server/dedup_hits", 1)
+			if state == StateDone {
+				s.reg.AddUint("server/cache_hits", 1)
+			}
+			return existing, http.StatusOK, nil
+		}
+		// failed/canceled: fall through and replace with a fresh attempt.
+		delete(s.jobs, id)
+	}
+	if s.draining {
+		return nil, http.StatusServiceUnavailable, errors.New("server is draining; not accepting new jobs")
+	}
+	s.reg.AddUint("server/jobs_submitted", 1)
+
+	j := &job{id: id, key: key, spec: spec, cfg: cfg,
+		state: StateQueued, created: time.Now(), done: make(chan struct{})}
+
+	// Warm path: a prior run of this exact descriptor — possibly by an
+	// earlier process over the same cache directory — already persisted
+	// the report.
+	if text, ok := s.cachedText(key); ok {
+		j.state = StateDone
+		j.cached = true
+		j.text = text
+		j.finished = time.Now()
+		close(j.done)
+		s.insertLocked(j)
+		s.reg.AddUint("server/cache_hits", 1)
+		return j, http.StatusOK, nil
+	}
+	s.reg.AddUint("server/cache_misses", 1)
+
+	select {
+	case s.queue <- j:
+	default:
+		s.reg.AddUint("server/queue_rejected", 1)
+		return nil, http.StatusTooManyRequests,
+			fmt.Errorf("admission queue full (%d queued); retry later", cap(s.queue))
+	}
+	s.insertLocked(j)
+	s.reg.SetMax("server/queue_high_water", float64(len(s.queue)))
+	return j, http.StatusAccepted, nil
+}
+
+// insertLocked adds j to the job table and evicts the oldest terminal
+// jobs past the retention bound. Callers hold s.mu.
+func (s *Server) insertLocked(j *job) {
+	s.jobs[j.id] = j
+	for len(s.jobs) > s.cfg.MaxJobs {
+		var oldest *job
+		for _, cand := range s.jobs {
+			cand.mu.Lock()
+			terminal := cand.state == StateDone || cand.state == StateFailed || cand.state == StateCanceled
+			created := cand.created
+			cand.mu.Unlock()
+			if !terminal {
+				continue
+			}
+			if oldest == nil || created.Before(oldest.created) {
+				oldest = cand
+			}
+		}
+		if oldest == nil {
+			return // everything is live; let the table grow
+		}
+		delete(s.jobs, oldest.id)
+	}
+}
+
+// cachedResult is the response-cache payload.
+type cachedResult struct {
+	Experiment string `json:"experiment"`
+	Text       string `json:"text"`
+}
+
+func (s *Server) cachedText(key string) (string, bool) {
+	if s.results == nil {
+		return "", false
+	}
+	payload, ok := s.results.Get(key)
+	if !ok {
+		return "", false
+	}
+	var c cachedResult
+	if err := json.Unmarshal(payload, &c); err != nil {
+		return "", false
+	}
+	return c.Text, true
+}
+
+func (s *Server) persistResult(key, experiment, text string) {
+	if s.results == nil {
+		return
+	}
+	payload, err := json.Marshal(cachedResult{Experiment: experiment, Text: text})
+	if err != nil {
+		return
+	}
+	// Put errors are counted in the store's stats; a lost write only
+	// means the job recomputes after a restart.
+	_ = s.results.Put(key, payload)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]view, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		views = append(views, j.view())
+	}
+	s.mu.Unlock()
+	// Stable order: newest first, id as tie-break.
+	sortViews(views)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+func sortViews(vs []view) {
+	for i := 1; i < len(vs); i++ {
+		for k := i; k > 0 && viewLess(vs[k], vs[k-1]); k-- {
+			vs[k], vs[k-1] = vs[k-1], vs[k]
+		}
+	}
+}
+
+func viewLess(a, b view) bool {
+	if a.Created != b.Created {
+		return a.Created > b.Created
+	}
+	return a.ID < b.ID
+}
+
+func (s *Server) jobFor(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	state, text, errMsg := j.snapshot()
+	switch state {
+	case StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, text)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
+	case StateCanceled:
+		writeError(w, http.StatusGone, "job was canceled: %s", errMsg)
+	default: // queued, running
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, j.view())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if s.cancelJob(j, "canceled by client") {
+		writeJSON(w, http.StatusAccepted, j.view())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view()) // already terminal
+}
+
+// cancelJob requests cancellation; returns false when the job was already
+// terminal. A queued job transitions immediately; a running one has its
+// context canceled and transitions when the harness unwinds (event-loop
+// granularity).
+func (s *Server) cancelJob(j *job, reason string) bool {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCanceled
+		j.canceled = true
+		j.errMsg = reason
+		j.finished = time.Now()
+		close(j.done)
+		j.mu.Unlock()
+		s.reg.AddUint("server/jobs_canceled", 1)
+		return true
+	case StateRunning:
+		j.canceled = true
+		j.errMsg = reason
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.snapshotMetrics()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = snap.WriteJSON(w)
+}
+
+func (s *Server) snapshotMetrics() metrics.Snapshot {
+	reg := metrics.NewRegistry()
+	reg.Merge(s.reg)
+	s.mu.Lock()
+	reg.AddUint("server/jobs_tracked", uint64(len(s.jobs)))
+	reg.AddUint("server/queue_len", uint64(len(s.queue)))
+	s.mu.Unlock()
+	if s.results != nil {
+		hits, misses, discards, writeErrs := s.results.Stats()
+		reg.AddUint("server/result_store/hits", hits)
+		reg.AddUint("server/result_store/misses", misses)
+		reg.AddUint("server/result_store/discards", discards)
+		reg.AddUint("server/result_store/write_errors", writeErrs)
+		if n, err := s.results.Len(); err == nil {
+			reg.AddUint("server/result_store/entries", uint64(n))
+		}
+	}
+	return reg.Snapshot()
+}
+
+// worker executes queued jobs until the queue is closed by Drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock() // canceled while queued; nothing to do
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	cfg := j.cfg
+	j.mu.Unlock()
+	defer cancel()
+
+	// Server-side plumbing, applied after the canonical key was derived
+	// from the client-visible spec: the shared per-unit checkpoint store
+	// (so drained jobs resume instead of recomputing) and the default
+	// per-unit timeout.
+	if s.unitsDir != "" {
+		cfg.CheckpointDir = s.unitsDir
+	}
+	if cfg.RunTimeout == 0 && s.cfg.JobTimeout > 0 {
+		cfg.RunTimeout = s.cfg.JobTimeout
+	}
+
+	s.log.Info("job start", "job", j.id, "experiment", j.spec.Experiment)
+	text, err := s.cfg.runner(ctx, j.spec.Experiment, cfg)
+
+	// Persist before publishing the terminal state: a client (or a
+	// restarted server) that observes "done" must find the cached bytes.
+	if err == nil {
+		s.persistResult(j.key, j.spec.Experiment, text)
+	}
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.text = text
+		s.reg.AddUint("server/jobs_completed", 1)
+	case j.canceled || errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		if j.errMsg == "" {
+			j.errMsg = err.Error()
+		}
+		s.reg.AddUint("server/jobs_canceled", 1)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.reg.AddUint("server/jobs_failed", 1)
+	}
+	state, errMsg := j.state, j.errMsg
+	dur := j.finished.Sub(j.started)
+	close(j.done)
+	j.mu.Unlock()
+
+	s.log.Info("job finish", "job", j.id, "state", state,
+		"dur_s", dur.Seconds(), "err", errMsg)
+}
+
+// runExperiments is the real runner: the public harness entry points,
+// rendered with the CLI's formatter so served reports are byte-identical
+// to a charonsim invocation.
+func runExperiments(ctx context.Context, experiment string, cfg charonsim.Config) (string, error) {
+	var reports []*charonsim.Report
+	var err error
+	if experiment == "all" {
+		reports, err = charonsim.RunAllContext(ctx, cfg)
+	} else {
+		var r *charonsim.Report
+		r, err = charonsim.RunContext(ctx, experiment, cfg)
+		if r != nil {
+			reports = append(reports, r)
+		}
+	}
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	cli.RenderReports(&b, reports)
+	return b.String(), nil
+}
+
+// Drain gracefully stops the server: admission closes (submissions get
+// 503, readyz reports draining), queued and running jobs are given until
+// ctx expires to finish, and on expiry the in-flight jobs are canceled —
+// their completed replay units are already in the per-unit checkpoint
+// store, so a restart resumes rather than recomputes. Drain returns nil
+// when every job finished, or ctx's error when it had to cut jobs short.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	if !s.queueClosed {
+		close(s.queue)
+		s.queueClosed = true
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Mark live jobs before cancelling so they land in "canceled"
+		// with a drain-specific message, then cut the shared context.
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.mu.Lock()
+			if j.state == StateQueued || j.state == StateRunning {
+				j.canceled = true
+				if j.errMsg == "" {
+					j.errMsg = "server drain deadline expired; completed units are checkpointed"
+				}
+			}
+			j.mu.Unlock()
+		}
+		s.mu.Unlock()
+		s.baseCancel()
+		<-done
+		return fmt.Errorf("server: drain deadline expired; in-flight jobs aborted after checkpointing completed units: %w", ctx.Err())
+	}
+}
+
+// Close is Drain with an already-expired deadline: cancel everything and
+// wait for the workers to unwind. For tests and hard shutdown paths.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Drain(ctx)
+}

@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end check of the charond serving layer, usable
+# locally and as the CI serve-smoke job:
+#
+#   1. boot charond on an ephemeral port with a result cache,
+#   2. submit a small job over HTTP and poll it to completion,
+#   3. assert the served report is byte-identical to the charonsim CLI's
+#      output for the same configuration,
+#   4. resubmit the identical job and assert a cache hit via /v1/metrics,
+#   5. SIGTERM the server and assert a clean drain (exit 0) with an
+#      uncorrupted cache directory.
+#
+# Any divergence — a byte of report drift, a missed cache hit, a dirty
+# shutdown — fails the script.
+set -u -o pipefail
+
+EXP=${EXP:-fig2}
+WORKLOADS=${WORKLOADS:-BS}
+GO=${GO:-go}
+WORK=$(mktemp -d)
+CHAROND_PID=""
+cleanup() {
+    [ -n "$CHAROND_PID" ] && kill "$CHAROND_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building charonsim + charond =="
+$GO build -o "$WORK/charonsim" ./cmd/charonsim || exit 1
+$GO build -o "$WORK/charond" ./cmd/charond || exit 1
+
+echo "== phase 1: boot =="
+"$WORK/charond" -addr 127.0.0.1:0 -workers 1 -queue 4 \
+    -cache-dir "$WORK/cache" >"$WORK/charond.out" 2>"$WORK/charond.err" &
+CHAROND_PID=$!
+
+BASE=""
+for _ in $(seq 1 200); do
+    BASE=$(sed -n 's/^charond listening on //p' "$WORK/charond.out" | head -n1)
+    [ -n "$BASE" ] && break
+    if ! kill -0 "$CHAROND_PID" 2>/dev/null; then
+        echo "FAIL: charond exited before listening"
+        cat "$WORK/charond.err"
+        exit 1
+    fi
+    sleep 0.05
+done
+if [ -z "$BASE" ]; then
+    echo "FAIL: charond never announced its address"
+    exit 1
+fi
+echo "charond at $BASE"
+
+if ! curl -fsS "$BASE/healthz" >/dev/null || ! curl -fsS "$BASE/readyz" >/dev/null; then
+    echo "FAIL: health endpoints not serving"
+    exit 1
+fi
+
+echo "== phase 2: submit and poll =="
+BODY=$(printf '{"experiment":"%s","workloads":["%s"]}' "$EXP" "$WORKLOADS")
+ID=$(curl -fsS -d "$BODY" "$BASE/v1/jobs" | jq -r .id)
+if [ -z "$ID" ] || [ "$ID" = "null" ]; then
+    echo "FAIL: submission returned no job id"
+    exit 1
+fi
+echo "job $ID submitted"
+
+STATE=""
+for _ in $(seq 1 2400); do
+    STATE=$(curl -fsS "$BASE/v1/jobs/$ID" | jq -r .state)
+    case "$STATE" in
+        done) break ;;
+        failed|canceled)
+            echo "FAIL: job ended $STATE"
+            curl -fsS "$BASE/v1/jobs/$ID" | jq .
+            exit 1 ;;
+    esac
+    sleep 0.25
+done
+if [ "$STATE" != "done" ]; then
+    echo "FAIL: job never completed (state $STATE)"
+    exit 1
+fi
+curl -fsS "$BASE/v1/jobs/$ID/result" >"$WORK/served.out" || exit 1
+
+echo "== phase 3: byte-identity against the CLI =="
+if ! "$WORK/charonsim" -exp "$EXP" -workloads "$WORKLOADS" >"$WORK/cli.out" 2>"$WORK/cli.err"; then
+    echo "FAIL: CLI run failed"
+    cat "$WORK/cli.err"
+    exit 1
+fi
+# The CLI's wall-clock trailer is its only non-deterministic line.
+grep -v '^([0-9]* experiment(s) in ' "$WORK/cli.out" >"$WORK/cli.stripped"
+if ! diff "$WORK/served.out" "$WORK/cli.stripped"; then
+    echo "FAIL: served report diverged from the CLI output"
+    exit 1
+fi
+echo "served report is byte-identical to the CLI"
+
+echo "== phase 4: identical resubmission is a cache hit =="
+CACHED=$(curl -fsS -d "$BODY" "$BASE/v1/jobs" | jq -r .state)
+if [ "$CACHED" != "done" ]; then
+    echo "FAIL: resubmission state $CACHED, want done (deduplicated)"
+    exit 1
+fi
+HITS=$(curl -fsS "$BASE/v1/metrics" | jq -r '.counters["server/cache_hits"] // 0')
+if [ "${HITS%.*}" -lt 1 ]; then
+    echo "FAIL: /v1/metrics reports no cache hit (server/cache_hits=$HITS)"
+    exit 1
+fi
+curl -fsS "$BASE/v1/jobs/$ID/result" >"$WORK/served2.out" || exit 1
+if ! diff "$WORK/served.out" "$WORK/served2.out"; then
+    echo "FAIL: cached result diverged from the original"
+    exit 1
+fi
+echo "cache hit confirmed (server/cache_hits=$HITS)"
+
+echo "== phase 5: SIGTERM drain =="
+kill -TERM "$CHAROND_PID"
+wait "$CHAROND_PID"
+CODE=$?
+CHAROND_PID=""
+if [ "$CODE" -ne 0 ]; then
+    echo "FAIL: drain exited $CODE, want 0"
+    cat "$WORK/charond.err"
+    exit 1
+fi
+# Every published cache entry must still be a complete JSON envelope.
+for f in "$WORK"/cache/results/*.ckpt.json; do
+    [ -e "$f" ] || continue
+    if ! jq -e .version "$f" >/dev/null; then
+        echo "FAIL: corrupt cache entry $f after drain"
+        exit 1
+    fi
+done
+echo "PASS: serve smoke complete (byte-identical, cached, clean drain)"
