@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke serve-smoke lint ci
+.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke serve-smoke chaos-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,13 @@ resume-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# Chaos smoke: kill -9 charond mid-job, restart over the same cache
+# directory, and assert the journal replays the job to a byte-identical
+# result with no completed unit re-executed (see the script). Needs
+# curl + jq.
+chaos-smoke:
+	./scripts/chaos_smoke.sh
+
 # Serial-vs-parallel wall-time comparison (also verifies byte-identical
 # output across parallelism settings).
 parbench:
@@ -93,4 +100,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
 	fi
 
-ci: lint build test race audit faults resume-smoke serve-smoke
+ci: lint build test race audit faults resume-smoke serve-smoke chaos-smoke

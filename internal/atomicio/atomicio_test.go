@@ -92,3 +92,85 @@ func TestWriteFileMissingDir(t *testing.T) {
 		t.Fatal("want error for missing directory")
 	}
 }
+
+// shortWriteFile truncates every write to one byte, modelling a disk that
+// fills mid-write.
+type shortWriteFile struct {
+	File
+}
+
+func (f shortWriteFile) Write(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return f.File.Write(p)
+}
+
+// hookFS overrides selected FS operations over the real filesystem.
+type hookFS struct {
+	shortWrites bool
+	syncDirErr  error
+}
+
+func (h *hookFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	if h.shortWrites {
+		return shortWriteFile{f}, nil
+	}
+	return f, nil
+}
+func (h *hookFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (h *hookFS) Remove(name string) error             { return os.Remove(name) }
+func (h *hookFS) SyncDir(dir string) error             { return h.syncDirErr }
+
+// TestWriteFileBytesFSDetectsShortWrite pins the ENOSPC-shaped failure
+// mode: a writer that silently lands fewer bytes than asked must fail the
+// write (io.ErrShortWrite), leave no debris, and never publish.
+func TestWriteFileBytesFSDetectsShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	err := WriteFileBytesFS(&hookFS{shortWrites: true}, path, []byte("more than one byte"))
+	if !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want io.ErrShortWrite", err)
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("short write published a file: %v", serr)
+	}
+	if names := listDir(t, dir); len(names) != 0 {
+		t.Fatalf("debris: %v", names)
+	}
+}
+
+// TestWriteFileFSSyncDirFailureKeepsCompleteFile: when the rename landed
+// but the directory fsync failed, the caller must see the error (the
+// publish may not survive a crash) while the file on disk — complete and
+// checksummed by the layers above — stays in place.
+func TestWriteFileFSSyncDirFailureKeepsCompleteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "entry.json")
+	boom := errors.New("journal: dir sync lost")
+	err := WriteFileBytesFS(&hookFS{syncDirErr: boom}, path, []byte("payload"))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected sync-dir failure", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "payload" {
+		t.Fatalf("published file = %q, %v; want complete payload", got, rerr)
+	}
+}
+
+// TestWriteFileNilFSIsRealFilesystem: the nil FS default must behave
+// exactly like WriteFile.
+func TestWriteFileNilFSIsRealFilesystem(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteFileBytesFS(nil, path, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "x" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+}

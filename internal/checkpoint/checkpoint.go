@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"charonsim/internal/atomicio"
@@ -41,23 +43,33 @@ const suffix = ".ckpt.json"
 // writers of the same key publish identical content (the store only ever
 // holds deterministic results), so rename races are benign.
 type Store struct {
-	dir string
+	dir  string
+	fsys atomicio.FS // nil = real filesystem; tests inject fault.FS
 
 	hits, misses, discards, writeErrs atomic.Uint64
+
+	errMu   sync.Mutex
+	lastErr string // last Put failure with its path, for diagnostics
 }
 
 // Open creates (if needed) and opens a checkpoint directory. Created
 // directories are 0o755 — owner-writable only; the store holds simulation
 // results, and a world-writable directory would let any local user plant
 // entries.
-func Open(dir string) (*Store, error) {
+func Open(dir string) (*Store, error) { return OpenFS(dir, nil) }
+
+// OpenFS is Open with an explicit filesystem for the write path (nil =
+// the real filesystem). Fault-injection tests pass a fault.FS here to
+// exercise the store's behaviour under ENOSPC, fsync errors, and torn
+// renames without a failing disk.
+func OpenFS(dir string, fsys atomicio.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("checkpoint: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fsys: fsys}, nil
 }
 
 // Dir returns the backing directory.
@@ -121,7 +133,8 @@ func (s *Store) Get(key string) ([]byte, bool) {
 // Put persists payload under key atomically. Store I/O must never fail a
 // sweep, so errors are counted (see Stats) and reported to the caller but
 // are safe to ignore: a failed Put just means that unit re-executes on
-// resume.
+// resume. The first/most recent failure is kept with its path
+// (LastWriteError) so a full disk is diagnosable from counters alone.
 func (s *Store) Put(key string, payload json.RawMessage) error {
 	if s == nil {
 		return nil
@@ -131,12 +144,87 @@ func (s *Store) Put(key string, payload json.RawMessage) error {
 		Checksum: payloadChecksum(payload), Payload: payload,
 	})
 	if err != nil {
-		s.writeErrs.Add(1)
-		return fmt.Errorf("checkpoint: encode %q: %w", key, err)
+		return s.recordPutErr(fmt.Errorf("checkpoint: encode %q: %w", key, err))
 	}
-	if err := atomicio.WriteFileBytes(s.pathFor(key), data); err != nil {
-		s.writeErrs.Add(1)
+	path := s.pathFor(key)
+	if err := atomicio.WriteFileBytesFS(s.fsys, path, data); err != nil {
+		return s.recordPutErr(fmt.Errorf("checkpoint: %w", err))
+	}
+	return nil
+}
+
+// recordPutErr counts a write failure and remembers it for diagnostics.
+func (s *Store) recordPutErr(err error) error {
+	s.writeErrs.Add(1)
+	s.errMu.Lock()
+	s.lastErr = err.Error()
+	s.errMu.Unlock()
+	return err
+}
+
+// LastWriteError returns the most recent Put failure (path included), or
+// "" when every write so far succeeded. Operators read it through
+// charond's /v1/metrics to tell a full disk from a flaky one.
+func (s *Store) LastWriteError() string {
+	if s == nil {
+		return ""
+	}
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
+}
+
+// Delete removes the entry stored for key, if any. The charond job
+// journal uses it to garbage-collect terminal records on boot replay.
+func (s *Store) Delete(key string) error {
+	if s == nil {
+		return nil
+	}
+	if err := os.Remove(s.pathFor(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("checkpoint: delete %q: %w", key, err)
+	}
+	return nil
+}
+
+// Range calls fn for every valid entry on disk, in sorted filename
+// (content-address) order for determinism. Invalid entries — corrupt,
+// truncated, version-mismatched — are deleted and skipped, like Get
+// does. fn returning false stops the scan. Concurrent Puts may or may
+// not be observed; published entries are immutable, so whatever Range
+// reads is complete.
+func (s *Store) Range(fn func(key string, payload json.RawMessage) bool) error {
+	if s == nil {
+		return nil
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	names := make([]string, 0, len(ents))
+	for _, de := range ents {
+		if !de.IsDir() && isEntryName(de.Name()) {
+			names = append(names, de.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		path := filepath.Join(s.dir, name)
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			continue // raced with a Delete
+		}
+		var e entry
+		if json.Unmarshal(raw, &e) != nil ||
+			e.Version != Version ||
+			e.Checksum != payloadChecksum(e.Payload) ||
+			s.pathFor(e.Key) != path {
+			os.Remove(path)
+			s.discards.Add(1)
+			continue
+		}
+		if !fn(e.Key, e.Payload) {
+			return nil
+		}
 	}
 	return nil
 }

@@ -2,11 +2,18 @@ package checkpoint
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
+
+	"charonsim/internal/atomicio"
+	"charonsim/internal/fault"
 )
 
 func open(t *testing.T) *Store {
@@ -235,5 +242,213 @@ func TestKeyHashMatchesEntryFilename(t *testing.T) {
 	want := KeyHash("some|canonical|key") + ".ckpt.json"
 	if _, err := os.Stat(filepath.Join(s.Dir(), want)); err != nil {
 		t.Fatalf("KeyHash-derived filename %q not found: %v", want, err)
+	}
+}
+
+// --- PR 8: fault-injection hardening, Delete/Range, error diagnostics ---
+
+func openFS(t *testing.T, fsys atomicio.FS) *Store {
+	t.Helper()
+	s, err := OpenFS(t.TempDir(), fsys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutUnderENOSPCReturnsAndRecordsError(t *testing.T) {
+	fsys := fault.NewFS(fault.FSConfig{WriteErrRate: 1}, nil)
+	s := openFS(t, fsys)
+	err := s.Put("k", json.RawMessage(`1`))
+	if !errors.Is(err, fault.ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put = %v, want injected ENOSPC", err)
+	}
+	if _, _, _, werrs := s.Stats(); werrs != 1 {
+		t.Fatalf("writeErrs = %d, want 1", werrs)
+	}
+	last := s.LastWriteError()
+	if last == "" || !strings.Contains(last, "no space left") && !strings.Contains(last, "ENOSPC") && !strings.Contains(last, s.pathFor("k")) {
+		t.Fatalf("LastWriteError = %q, want the path or errno surfaced", last)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("failed Put published an entry")
+	}
+	// Recovery: injection off, the same store serves writes again and the
+	// recorded error stays for diagnosis.
+	fsys.SetDisabled(true)
+	if err := s.Put("k", json.RawMessage(`1`)); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("entry missing after recovered Put")
+	}
+	if s.LastWriteError() == "" {
+		t.Fatal("recovery erased the diagnostic record")
+	}
+}
+
+// TestPutTornRenameSelfHeals: a rename that tears leaves a truncated
+// destination; Put reports the failure, and the next Get discards the
+// torn artifact as a miss instead of serving garbage.
+func TestPutTornRenameSelfHeals(t *testing.T) {
+	fsys := fault.NewFS(fault.FSConfig{TornRenameRate: 1}, nil)
+	s := openFS(t, fsys)
+	if err := s.Put("k", json.RawMessage(`{"big":"payload payload payload"}`)); err == nil {
+		t.Fatal("torn rename must fail the Put")
+	}
+	// The torn destination exists on disk...
+	if _, err := os.Stat(s.pathFor("k")); err != nil {
+		t.Fatalf("expected a torn artifact at the entry path: %v", err)
+	}
+	// ...but Get rejects and deletes it.
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("Get served a torn entry")
+	}
+	if _, err := os.Stat(s.pathFor("k")); !os.IsNotExist(err) {
+		t.Fatal("Get left the torn artifact in place")
+	}
+	_, _, discards, _ := s.Stats()
+	if discards != 1 {
+		t.Fatalf("discards = %d, want 1", discards)
+	}
+	// With the disk healthy again the entry round-trips.
+	fsys.SetDisabled(true)
+	if err := s.Put("k", json.RawMessage(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "2" {
+		t.Fatalf("Get after heal = %q, %v", got, ok)
+	}
+}
+
+func TestPutFsyncErrorDoesNotPublish(t *testing.T) {
+	fsys := fault.NewFS(fault.FSConfig{SyncErrRate: 1}, nil)
+	s := openFS(t, fsys)
+	if err := s.Put("k", json.RawMessage(`1`)); err == nil {
+		t.Fatal("fsync failure must fail the Put")
+	}
+	if n, err := s.Len(); err != nil || n != 0 {
+		t.Fatalf("Len = %d, %v after failed sync, want 0", n, err)
+	}
+}
+
+func TestDeleteRemovesEntry(t *testing.T) {
+	s := open(t)
+	if err := s.Put("k", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("entry survived Delete")
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatalf("Delete of a missing entry must be a no-op, got %v", err)
+	}
+	if err := (*Store)(nil).Delete("k"); err != nil {
+		t.Fatalf("nil store Delete: %v", err)
+	}
+}
+
+func TestRangeVisitsValidEntriesSorted(t *testing.T) {
+	s := open(t)
+	want := map[string]string{"a": `1`, "b": `2`, "c": `3`}
+	for k, v := range want {
+		if err := s.Put(k, json.RawMessage(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Plant one corrupt entry; Range must delete it and visit the rest.
+	corrupt := filepath.Join(s.Dir(), KeyHash("zz")+suffix)
+	if err := os.WriteFile(corrupt, []byte(`{"version":1,"key":"zz"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	var order []string
+	if err := s.Range(func(key string, payload json.RawMessage) bool {
+		got[key] = string(payload)
+		order = append(order, KeyHash(key))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%s] = %q, want %q", k, got[k], v)
+		}
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Fatalf("Range order not sorted by content address: %v", order)
+	}
+	if _, err := os.Stat(corrupt); !os.IsNotExist(err) {
+		t.Fatal("Range left the corrupt entry in place")
+	}
+	// Early stop.
+	n := 0
+	_ = s.Range(func(string, json.RawMessage) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored the stop signal: visited %d", n)
+	}
+	if err := (*Store)(nil).Range(func(string, json.RawMessage) bool { return true }); err != nil {
+		t.Fatalf("nil store Range: %v", err)
+	}
+}
+
+// TestVerifyConcurrentWithPut races the operator-facing scan against live
+// writers: whatever interleaving the race detector finds, Verify must
+// never delete a valid published entry and the store must end complete.
+func TestVerifyConcurrentWithPut(t *testing.T) {
+	s := open(t)
+	const writers, perWriter = 4, 25
+	var writeWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d/k%d", w, i)
+				if err := s.Put(key, json.RawMessage(`"v"`)); err != nil {
+					t.Errorf("Put %s: %v", key, err)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	verifierDone := make(chan struct{})
+	go func() {
+		defer close(verifierDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := s.Verify(); err != nil {
+				t.Errorf("Verify: %v", err)
+				return
+			}
+		}
+	}()
+	writeWG.Wait()
+	close(stop)
+	<-verifierDone
+
+	valid, discarded, err := s.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != writers*perWriter || discarded != 0 {
+		t.Fatalf("final Verify = %d valid, %d discarded; want %d/0", valid, discarded, writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if _, ok := s.Get(fmt.Sprintf("w%d/k%d", w, i)); !ok {
+				t.Fatalf("entry w%d/k%d lost", w, i)
+			}
+		}
 	}
 }

@@ -34,6 +34,8 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		cacheDir     = fs.String("cache-dir", "", "result-cache + per-unit checkpoint root; identical resubmissions (including across restarts) are served from it without simulating")
 		jobTimeout   = fs.Duration("job-timeout", 0, "default per-unit run timeout applied to jobs that do not set run_timeout (0 = unbounded)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before aborting them (completed units stay checkpointed)")
+		retryBudget  = fs.Int("retry-budget", 2, "max automatic retries per job for transient failures (injected I/O faults, recovered panics); 0 disables retries")
+		shedLatency  = fs.Duration("shed-latency", 0, "load-shedding bound: reject submissions with 503 + Retry-After when the estimated queue wait exceeds this (0 = no shedding)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -42,10 +44,20 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *retryBudget < 0 {
+		fmt.Fprintln(stderr, "charond: -retry-budget must be >= 0")
+		return 2
+	}
+	budget := *retryBudget
+	if budget == 0 {
+		budget = -1 // Config: 0 means "use default", negative disables
+	}
+
 	logger := slog.New(slog.NewJSONHandler(stderr, nil))
 	srv, err := New(Config{
 		Workers: *workers, QueueDepth: *queueDepth,
 		CacheDir: *cacheDir, JobTimeout: *jobTimeout,
+		RetryBudget: budget, ShedLatency: *shedLatency,
 		Log: logger,
 	})
 	if err != nil {
@@ -65,7 +77,17 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers,
 		"queue", *queueDepth, "cache_dir", *cacheDir)
 
-	hs := &http.Server{Handler: srv.Handler()}
+	// Conservative edge timeouts so a slow or stalled client can't pin a
+	// connection (and its goroutine) forever. Handlers stream nothing
+	// long-lived — job execution is asynchronous — so short bounds are
+	// safe. No WriteTimeout: result bodies are small but drain on the
+	// client's clock, and the read bounds already cap the abuse window.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

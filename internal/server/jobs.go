@@ -152,20 +152,34 @@ type job struct {
 	cancel   context.CancelFunc // non-nil while running
 	canceled bool               // cancellation requested (DELETE or drain)
 	done     chan struct{}      // closed on any terminal state
+
+	seq       uint64          // bumped on every state mutation; orders journal writes
+	attempts  []attemptRecord // execution attempts (retry policy history)
+	recovered int             // journal crash-replay generations (0 = never crashed)
 }
 
 // view is the JSON representation of a job.
 type view struct {
-	ID         string `json:"id"`
-	State      string `json:"state"`
-	Experiment string `json:"experiment"`
-	Cached     bool   `json:"cached"`
-	Created    string `json:"created,omitempty"`
-	Started    string `json:"started,omitempty"`
-	Finished   string `json:"finished,omitempty"`
-	Error      string `json:"error,omitempty"`
-	Self       string `json:"self"`
-	Result     string `json:"result"`
+	ID         string        `json:"id"`
+	State      string        `json:"state"`
+	Experiment string        `json:"experiment"`
+	Cached     bool          `json:"cached"`
+	Created    string        `json:"created,omitempty"`
+	Started    string        `json:"started,omitempty"`
+	Finished   string        `json:"finished,omitempty"`
+	Error      string        `json:"error,omitempty"`
+	Attempts   []attemptView `json:"attempts,omitempty"`
+	Recovered  int           `json:"recovered,omitempty"`
+	Self       string        `json:"self"`
+	Result     string        `json:"result"`
+}
+
+// attemptView is one execution attempt in a job's status: terminally
+// failed jobs carry their full retry history here.
+type attemptView struct {
+	Started  string `json:"started"`
+	Finished string `json:"finished,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 func (j *job) view() view {
@@ -174,8 +188,9 @@ func (j *job) view() view {
 	v := view{
 		ID: j.id, State: j.state, Experiment: j.spec.Experiment,
 		Cached: j.cached, Error: j.errMsg,
-		Self:   "/v1/jobs/" + j.id,
-		Result: "/v1/jobs/" + j.id + "/result",
+		Recovered: j.recovered,
+		Self:      "/v1/jobs/" + j.id,
+		Result:    "/v1/jobs/" + j.id + "/result",
 	}
 	if !j.created.IsZero() {
 		v.Created = j.created.UTC().Format(time.RFC3339Nano)
@@ -185,6 +200,13 @@ func (j *job) view() view {
 	}
 	if !j.finished.IsZero() {
 		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	for _, a := range j.attempts {
+		av := attemptView{Started: a.Started.UTC().Format(time.RFC3339Nano), Error: a.Error}
+		if !a.Finished.IsZero() {
+			av.Finished = a.Finished.UTC().Format(time.RFC3339Nano)
+		}
+		v.Attempts = append(v.Attempts, av)
 	}
 	return v
 }

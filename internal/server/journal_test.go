@@ -1,0 +1,458 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"charonsim"
+	"charonsim/internal/checkpoint"
+	"charonsim/internal/fault"
+)
+
+// journalFiles lists the published journal entries under a cache dir.
+func journalFiles(t *testing.T, cacheDir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(cacheDir, "journal", "*.ckpt.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestJournalRecordsBeforeAccept: the durability contract — by the time a
+// 202 is visible, the job descriptor is on disk.
+func TestJournalRecordsBeforeAccept(t *testing.T) {
+	cacheDir := t.TempDir()
+	g := newGate("r\n")
+	_, base := newTestServer(t, Config{Workers: 1, CacheDir: cacheDir, runner: g.runner})
+
+	resp, _ := postJob(t, base, `{"experiment":"fig12","workloads":["BS"]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", resp.StatusCode)
+	}
+	if n := len(journalFiles(t, cacheDir)); n != 1 {
+		t.Fatalf("journal entries after 202 = %d, want 1", n)
+	}
+	close(g.open)
+}
+
+// TestJournalReplayResumesUnfinishedJobs: a server that dies holding an
+// accepted job leaves a journal record; the next boot over the same cache
+// directory requeues and finishes the work.
+func TestJournalReplayResumesUnfinishedJobs(t *testing.T) {
+	cacheDir := t.TempDir()
+
+	// Server A accepts the job and "crashes" (no drain, no terminal
+	// journal transition) while the job is running.
+	gA := newGate("never\n")
+	_, baseA := newTestServer(t, Config{Workers: 1, CacheDir: cacheDir, runner: gA.runner})
+	_, v := postJob(t, baseA, `{"experiment":"fig12","workloads":["BS"]}`)
+	<-gA.started
+	waitState(t, baseA, v.ID, StateRunning)
+
+	// Server B boots over the same cache directory and must recover the
+	// job from the journal without a client resubmission.
+	gB := newGate("recovered result\n")
+	close(gB.open)
+	sB, baseB := newTestServer(t, Config{Workers: 1, CacheDir: cacheDir, runner: gB.runner})
+	got := waitState(t, baseB, v.ID, StateDone)
+	if got.Recovered != 1 {
+		t.Fatalf("recovered generation = %d, want 1", got.Recovered)
+	}
+	if body := fetchResult(t, baseB, v.ID); body != "recovered result\n" {
+		t.Fatalf("recovered result = %q", body)
+	}
+	if n := sB.Metrics().Counter("server/journal_recovered"); n != 1 {
+		t.Fatalf("journal_recovered = %v, want 1", n)
+	}
+}
+
+// TestJournalGCsTerminalRecords: finished jobs leave terminal records that
+// the next boot collects instead of replaying.
+func TestJournalGCsTerminalRecords(t *testing.T) {
+	cacheDir := t.TempDir()
+	g := newGate("done result\n")
+	close(g.open)
+	s1, base1 := newTestServer(t, Config{Workers: 1, CacheDir: cacheDir, runner: g.runner})
+	_, v := postJob(t, base1, `{"experiment":"fig12","workloads":["BS"]}`)
+	waitState(t, base1, v.ID, StateDone)
+	if err := drainWithin(s1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(journalFiles(t, cacheDir)); n != 1 {
+		t.Fatalf("terminal journal entries before restart = %d, want 1", n)
+	}
+
+	g2 := newGate("WRONG — re-ran\n")
+	close(g2.open)
+	s2, base2 := newTestServer(t, Config{Workers: 1, CacheDir: cacheDir, runner: g2.runner})
+	if n := len(journalFiles(t, cacheDir)); n != 0 {
+		t.Fatalf("journal entries after GC boot = %d, want 0", n)
+	}
+	if n := s2.Metrics().Counter("server/journal_gc"); n != 1 {
+		t.Fatalf("journal_gc = %v, want 1", n)
+	}
+	// The terminal job was not rehydrated into the table...
+	if resp := getJSON(t, base2+"/v1/jobs/"+v.ID, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GC'd job GET = %d, want 404", resp.StatusCode)
+	}
+	// ...but its result still serves from the response cache, without
+	// re-running anything.
+	resp, v2 := postJob(t, base2, `{"experiment":"fig12","workloads":["BS"]}`)
+	if resp.StatusCode != http.StatusOK || !v2.Cached {
+		t.Fatalf("resubmit after GC = %d cached %v, want 200 cached", resp.StatusCode, v2.Cached)
+	}
+	if g2.runs.Load() != 0 {
+		t.Fatal("restart re-ran a job whose journal record was terminal")
+	}
+}
+
+// TestJournalReplayCompletesFromCache models a crash in the window between
+// persisting the result and journaling "done": the record still says
+// running, but the bytes are in the response cache — boot must complete
+// the job in place, not re-run it.
+func TestJournalReplayCompletesFromCache(t *testing.T) {
+	cacheDir := t.TempDir()
+	spec := JobSpec{Experiment: "fig12", Workloads: []string{"BS"}}
+	_, key, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rst, err := checkpoint.Open(filepath.Join(cacheDir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, _ := json.Marshal(cachedResult{Experiment: spec.Experiment, Text: "persisted before crash\n"})
+	if err := rst.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	jst, err := checkpoint.Open(filepath.Join(cacheDir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(journalRecord{
+		Schema: journalSchema, ID: jobID(key), Key: key, Spec: spec,
+		State: StateRunning, Created: time.Now(), Updated: time.Now(),
+	})
+	if err := jst.Put(key, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	g := newGate("WRONG — recomputed\n")
+	close(g.open)
+	_, base := newTestServer(t, Config{Workers: 1, CacheDir: cacheDir, runner: g.runner})
+	v := waitState(t, base, jobID(key), StateDone)
+	if !v.Cached {
+		t.Fatalf("replayed-from-cache job not marked cached: %+v", v)
+	}
+	if body := fetchResult(t, base, jobID(key)); body != "persisted before crash\n" {
+		t.Fatalf("result = %q, want the pre-crash bytes", body)
+	}
+	if g.runs.Load() != 0 {
+		t.Fatal("boot re-ran a job whose result was already persisted")
+	}
+	if n := len(journalFiles(t, cacheDir)); n != 0 {
+		t.Fatalf("stale running record not collected: %d entries", n)
+	}
+}
+
+// TestJournalDiscardsUnreadableRecords: garbage in the journal directory
+// is logged and collected, never replayed.
+func TestJournalDiscardsUnreadableRecords(t *testing.T) {
+	cacheDir := t.TempDir()
+	jdir := filepath.Join(cacheDir, "journal")
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A record with a spec that no longer resolves.
+	jst, err := checkpoint.Open(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := json.Marshal(journalRecord{
+		Schema: journalSchema, ID: "dead", Key: "job/v1|bogus", Spec: JobSpec{Experiment: "no-such-exp"},
+		State: StateQueued, Created: time.Now(),
+	})
+	if err := jst.Put("job/v1|bogus", raw); err != nil {
+		t.Fatal(err)
+	}
+
+	s, _ := newTestServer(t, Config{Workers: 1, CacheDir: cacheDir})
+	if n := len(journalFiles(t, cacheDir)); n != 0 {
+		t.Fatalf("unresolvable record survived boot: %d entries", n)
+	}
+	if n := s.Metrics().Counter("server/journal_recovered"); n != 0 {
+		t.Fatalf("journal_recovered = %v, want 0", n)
+	}
+}
+
+// transientRunner fails the first n invocations with a retryable error.
+func transientRunner(n int64, sentinel error, result string) (func(context.Context, string, charonsim.Config) (string, error), *atomic.Int64) {
+	var calls atomic.Int64
+	return func(ctx context.Context, exp string, _ charonsim.Config) (string, error) {
+		if calls.Add(1) <= n {
+			return "", fmt.Errorf("attempt doomed: %w", sentinel)
+		}
+		return result, nil
+	}, &calls
+}
+
+func TestRetryRecoversTransientFaults(t *testing.T) {
+	runner, calls := transientRunner(2, fault.ErrInjected, "third time lucky\n")
+	s, base := newTestServer(t, Config{
+		Workers: 1, RetryBudget: 2, RetryBackoff: time.Millisecond, runner: runner,
+	})
+	_, v := postJob(t, base, `{"experiment":"fig12"}`)
+	got := waitState(t, base, v.ID, StateDone)
+	if calls.Load() != 3 {
+		t.Fatalf("runner invoked %d times, want 3", calls.Load())
+	}
+	if len(got.Attempts) != 3 {
+		t.Fatalf("attempt history = %d entries, want 3: %+v", len(got.Attempts), got.Attempts)
+	}
+	if got.Attempts[0].Error == "" || got.Attempts[2].Error != "" {
+		t.Fatalf("attempt errors malformed: %+v", got.Attempts)
+	}
+	if n := s.Metrics().Counter("server/jobs_retried"); n != 2 {
+		t.Fatalf("jobs_retried = %v, want 2", n)
+	}
+	if body := fetchResult(t, base, v.ID); body != "third time lucky\n" {
+		t.Fatalf("result = %q", body)
+	}
+}
+
+func TestRetryBudgetExhaustedReportsHistory(t *testing.T) {
+	runner, calls := transientRunner(1<<30, charonsim.ErrInternal, "")
+	_, base := newTestServer(t, Config{
+		Workers: 1, RetryBudget: 1, RetryBackoff: time.Millisecond, runner: runner,
+	})
+	_, v := postJob(t, base, `{"experiment":"fig12"}`)
+	got := waitState(t, base, v.ID, StateFailed)
+	if calls.Load() != 2 {
+		t.Fatalf("runner invoked %d times, want 2 (1 + 1 retry)", calls.Load())
+	}
+	if !strings.Contains(got.Error, "failed after 2 attempts") {
+		t.Fatalf("terminal error lacks attempt count: %q", got.Error)
+	}
+	if len(got.Attempts) != 2 {
+		t.Fatalf("attempt history = %d entries, want 2", len(got.Attempts))
+	}
+}
+
+func TestTerminalFailureDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	runner := func(ctx context.Context, exp string, _ charonsim.Config) (string, error) {
+		calls.Add(1)
+		return "", fmt.Errorf("validation exploded") // not transient
+	}
+	s, base := newTestServer(t, Config{
+		Workers: 1, RetryBudget: 5, RetryBackoff: time.Millisecond, runner: runner,
+	})
+	_, v := postJob(t, base, `{"experiment":"fig12"}`)
+	waitState(t, base, v.ID, StateFailed)
+	if calls.Load() != 1 {
+		t.Fatalf("non-transient failure ran %d times, want 1", calls.Load())
+	}
+	if n := s.Metrics().Counter("server/jobs_retried"); n != 0 {
+		t.Fatalf("jobs_retried = %v, want 0", n)
+	}
+}
+
+func TestRetryDisabledByNegativeBudget(t *testing.T) {
+	runner, calls := transientRunner(1<<30, fault.ErrInjected, "")
+	_, base := newTestServer(t, Config{
+		Workers: 1, RetryBudget: -1, RetryBackoff: time.Millisecond, runner: runner,
+	})
+	_, v := postJob(t, base, `{"experiment":"fig12"}`)
+	waitState(t, base, v.ID, StateFailed)
+	if calls.Load() != 1 {
+		t.Fatalf("disabled retries still ran %d times, want 1", calls.Load())
+	}
+}
+
+func TestBackoffDelayDeterministicAndBounded(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 0; attempt < 10; attempt++ {
+		a := backoffDelay(base, attempt, "job-a")
+		if b := backoffDelay(base, attempt, "job-a"); a != b {
+			t.Fatalf("attempt %d: nondeterministic delay %s vs %s", attempt, a, b)
+		}
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		lo := base << uint(shift)
+		hi := lo + lo/2
+		if a < lo || a > hi {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", attempt, a, lo, hi)
+		}
+	}
+	if backoffDelay(base, 1, "job-a") == backoffDelay(base, 1, "job-b") {
+		t.Fatal("different jobs share a jitter schedule")
+	}
+}
+
+// TestLoadShedding: once the duration estimator has evidence, submissions
+// whose predicted wait exceeds the bound get 503 + Retry-After — while
+// dedup hits on already-tracked jobs still answer 200.
+func TestLoadShedding(t *testing.T) {
+	g := newGate("r\n")
+	s, base := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 16, ShedLatency: 10 * time.Millisecond, runner: g.runner,
+	})
+
+	// No evidence yet (no completed job): nothing sheds.
+	resp, a := postJob(t, base, `{"experiment":"fig12","workloads":["BS"]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("A = %d, want 202", resp.StatusCode)
+	}
+	<-g.started
+	waitState(t, base, a.ID, StateRunning)
+	resp, b := postJob(t, base, `{"experiment":"fig12","workloads":["KM"]}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("B with empty estimator = %d, want 202", resp.StatusCode)
+	}
+
+	// Feed the estimator a pathological mean: anything queued now implies
+	// an hour of wait against a 10ms bound.
+	s.avgRunNanos.Store(int64(time.Hour))
+	resp, _ = postJob(t, base, `{"experiment":"fig12","workloads":["LR"]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed 503 without Retry-After")
+	}
+	if n := s.Metrics().Counter("server/shed_rejected"); n != 1 {
+		t.Fatalf("shed_rejected = %v, want 1", n)
+	}
+	// Dedup of the queued job B is still a 200, not a shed.
+	resp, _ = postJob(t, base, `{"experiment":"fig12","workloads":["KM"]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dedup during shed = %d, want 200", resp.StatusCode)
+	}
+
+	close(g.open)
+	waitState(t, base, a.ID, StateDone)
+	waitState(t, base, b.ID, StateDone)
+}
+
+// TestDegradedCacheModeAndRecovery drives the persistence stack through a
+// full disk (every write fails) and back: the server flips into degraded
+// mode with gauges + error detail on /v1/metrics, keeps serving jobs from
+// memory, and re-enables itself on the first successful write.
+func TestDegradedCacheModeAndRecovery(t *testing.T) {
+	ffs := fault.NewFS(fault.FSConfig{Seed: 7, WriteErrRate: 1}, nil)
+	g := newGate("survives degraded mode\n")
+	close(g.open)
+	cfg := Config{Workers: 1, CacheDir: t.TempDir(), runner: g.runner}
+	cfg.fsys = ffs
+	s, base := newTestServer(t, cfg)
+
+	// The job still completes even though every persistence write fails.
+	_, v := postJob(t, base, `{"experiment":"fig12","workloads":["BS"]}`)
+	waitState(t, base, v.ID, StateDone)
+	if body := fetchResult(t, base, v.ID); body != "survives degraded mode\n" {
+		t.Fatalf("degraded-mode result = %q", body)
+	}
+
+	snap := s.snapshotMetrics()
+	if snap.Gauges["server/cache_degraded"] != 1 {
+		t.Fatalf("cache_degraded gauge = %v, want 1", snap.Gauges["server/cache_degraded"])
+	}
+	if snap.Gauges["server/journal_degraded"] != 1 {
+		t.Fatalf("journal_degraded gauge = %v, want 1", snap.Gauges["server/journal_degraded"])
+	}
+	if snap.Counters["server/result_cache/degraded_transitions"] < 1 {
+		t.Fatalf("no degraded transition counted: %v", snap.Counters)
+	}
+	var mresp struct {
+		Errors map[string]string `json:"errors"`
+	}
+	getJSON(t, base+"/v1/metrics", &mresp)
+	if mresp.Errors["server/result_store/last_write_error"] == "" {
+		t.Fatalf("/v1/metrics errors missing result-store detail: %+v", mresp.Errors)
+	}
+
+	// "Disk cleared": the next write succeeds and recovery is automatic.
+	ffs.SetDisabled(true)
+	_, v2 := postJob(t, base, `{"experiment":"fig12","workloads":["KM"]}`)
+	waitState(t, base, v2.ID, StateDone)
+	snap = s.snapshotMetrics()
+	if snap.Gauges["server/cache_degraded"] != 0 {
+		t.Fatalf("cache_degraded after recovery = %v, want 0", snap.Gauges["server/cache_degraded"])
+	}
+	if snap.Counters["server/result_cache/recoveries"] < 1 {
+		t.Fatalf("no recovery counted: %v", snap.Counters)
+	}
+}
+
+// TestSubmitBodyTooLargeIs413: a spec body past the MaxBytesReader bound
+// is rejected with 413, not decoded.
+func TestSubmitBodyTooLargeIs413(t *testing.T) {
+	_, base := newTestServer(t, Config{})
+	body := `{"experiment":"` + strings.Repeat("x", maxBodyBytes+1024) + `"}`
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestCancelRacesCompletion hammers DELETE against natural completion:
+// whatever the interleaving, the job must land in exactly one terminal
+// state and the journal's seq ordering must keep the durable record from
+// rolling backwards (exercised under -race).
+func TestCancelRacesCompletion(t *testing.T) {
+	runner := func(ctx context.Context, exp string, _ charonsim.Config) (string, error) {
+		return "instant\n", nil
+	}
+	_, base := newTestServer(t, Config{
+		Workers: 4, QueueDepth: 64, CacheDir: t.TempDir(), runner: runner,
+	})
+	for i := 0; i < 40; i++ {
+		body := fmt.Sprintf(`{"experiment":"fig12","fault_rate":0.001,"fault_seed":%d}`, i+1)
+		resp, v := postJob(t, base, body)
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %d = %d", i, resp.StatusCode)
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+v.ID, nil)
+			if r, err := http.DefaultClient.Do(req); err == nil {
+				r.Body.Close()
+			}
+		}()
+		wg.Wait()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			var jv view
+			getJSON(t, base+"/v1/jobs/"+v.ID, &jv)
+			if jv.State == StateDone || jv.State == StateCanceled {
+				break
+			}
+			if jv.State == StateFailed {
+				t.Fatalf("iteration %d: job failed: %q", i, jv.Error)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("iteration %d: job stuck in %q", i, jv.State)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}

@@ -31,17 +31,22 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"charonsim"
+	"charonsim/internal/atomicio"
 	"charonsim/internal/checkpoint"
 	"charonsim/internal/cli"
+	"charonsim/internal/fault"
 	"charonsim/internal/metrics"
 )
 
@@ -71,6 +76,22 @@ type Config struct {
 	// exceeded, the oldest terminal jobs are evicted. Their results stay
 	// servable from the disk cache.
 	MaxJobs int
+	// RetryBudget bounds automatic re-executions of transiently-failed
+	// jobs — injected I/O faults and recovered internal panics
+	// (charonsim.ErrInternal) retry with exponential backoff plus
+	// deterministic jitter; anything else fails immediately. 0 selects
+	// the default (2 retries); negative disables retries entirely.
+	RetryBudget int
+	// RetryBackoff is the initial retry delay (default 250ms); it doubles
+	// per attempt up to 64x, plus up to +50% deterministic jitter derived
+	// from the job id. Tests shrink it.
+	RetryBackoff time.Duration
+	// ShedLatency, when positive, enables latency-aware load shedding: a
+	// submission whose estimated queue wait (queued jobs × the observed
+	// mean job duration ÷ workers) exceeds it is rejected with 503 +
+	// Retry-After — distinct from the hard 429 queue-depth limit, which
+	// still applies.
+	ShedLatency time.Duration
 	// Log receives structured request and lifecycle logs (nil = discard).
 	Log *slog.Logger
 
@@ -78,6 +99,9 @@ type Config struct {
 	// substitute a controllable stub; nil selects the real experiment
 	// harness.
 	runner func(ctx context.Context, experiment string, cfg charonsim.Config) (string, error)
+	// fsys overrides the filesystem under the persistence stack (result
+	// cache + journal); tests inject a fault.FS here. nil = real disk.
+	fsys atomicio.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +113,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 2
+	}
+	if c.RetryBudget < 0 {
+		c.RetryBudget = 0 // explicit "no retries"
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 250 * time.Millisecond
 	}
 	if c.Log == nil {
 		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -106,7 +139,14 @@ type Server struct {
 	log      *slog.Logger
 	reg      *metrics.Registry
 	results  *checkpoint.Store // response cache; nil without CacheDir
+	units    *checkpoint.Store // handle on the per-unit store, for metrics
 	unitsDir string            // per-unit checkpoint store for jobs; "" without CacheDir
+
+	journal       *journal  // write-ahead job log; nil without CacheDir
+	cacheHealth   *degrader // result-cache degraded-mode tracker
+	journalHealth *degrader // journal degraded-mode tracker
+
+	avgRunNanos atomic.Int64 // EWMA of completed job durations (shed estimator)
 
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
@@ -119,7 +159,12 @@ type Server struct {
 	wg          sync.WaitGroup // worker goroutines
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server, replays the job journal (when a cache directory is
+// configured), and starts its worker pool. Unfinished journaled jobs —
+// work a previous process accepted with a 202 and then died holding —
+// are requeued before the first worker starts, so they resume (from
+// their per-unit checkpoints) ahead of new submissions; terminal records
+// are garbage-collected.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -128,24 +173,91 @@ func New(cfg Config) (*Server, error) {
 		reg:  metrics.NewRegistry(),
 		jobs: map[string]*job{},
 	}
+	s.cacheHealth = &degrader{name: "result_cache", log: cfg.Log, reg: s.reg}
+	s.journalHealth = &degrader{name: "journal", log: cfg.Log, reg: s.reg}
 	if cfg.CacheDir != "" {
-		st, err := checkpoint.Open(filepath.Join(cfg.CacheDir, "results"))
+		st, err := checkpoint.OpenFS(filepath.Join(cfg.CacheDir, "results"), cfg.fsys)
 		if err != nil {
 			return nil, fmt.Errorf("server: result cache: %w", err)
 		}
 		s.results = st
 		s.unitsDir = filepath.Join(cfg.CacheDir, "units")
-		if _, err := checkpoint.Open(s.unitsDir); err != nil {
+		if s.units, err = checkpoint.Open(s.unitsDir); err != nil {
 			return nil, fmt.Errorf("server: unit store: %w", err)
+		}
+		if s.journal, err = openJournal(filepath.Join(cfg.CacheDir, "journal"), cfg.fsys, s.journalHealth); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
 		}
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
-	s.queue = make(chan *job, cfg.QueueDepth)
+
+	recovered, gcKeys := s.replayJournal()
+	// The queue is sized so every recovered job fits ahead of the
+	// client-facing admission bound: submissions are rejected once
+	// QueueDepth jobs wait, but crash-recovered work must never be
+	// dropped for lack of a slot.
+	s.queue = make(chan *job, cfg.QueueDepth+len(recovered))
+	for _, j := range recovered {
+		s.jobs[j.id] = j
+		s.queue <- j
+		s.journal.record(j)
+		s.reg.AddUint("server/journal_recovered", 1)
+		s.log.Info("journal: recovered job", "job", j.id,
+			"experiment", j.spec.Experiment, "generation", j.recovered)
+	}
+	if n := s.journal.gc(gcKeys); n > 0 {
+		s.reg.AddUint("server/journal_gc", uint64(n))
+		s.log.Info("journal: collected terminal records", "n", n)
+	}
+
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// replayJournal loads the journal and rebuilds the unfinished jobs a dead
+// process left behind. Jobs whose result meanwhile landed in the response
+// cache (crash between persist and the journal's terminal transition) are
+// completed in place rather than re-run. Returns the jobs to requeue and
+// the record keys to garbage-collect.
+func (s *Server) replayJournal() (recovered []*job, gcKeys []string) {
+	pending, terminal, err := s.journal.replay(s.log)
+	if err != nil {
+		s.log.Warn("journal: replay scan failed; continuing without recovery", "err", err)
+		return nil, nil
+	}
+	gcKeys = terminal
+	for _, rec := range pending {
+		cfg, key, rerr := rec.Spec.Resolve()
+		if rerr != nil { // replay() pre-checked; defensive
+			gcKeys = append(gcKeys, rec.Key)
+			continue
+		}
+		j := &job{
+			id: jobID(key), key: key, spec: rec.Spec, cfg: cfg,
+			state: StateQueued, created: rec.Created,
+			attempts:  rec.Attempts,
+			recovered: rec.Recovered + 1,
+			seq:       1,
+			done:      make(chan struct{}),
+		}
+		if text, ok := s.cachedText(key); ok {
+			// The previous process finished the work and persisted the
+			// report but died before journaling "done".
+			j.state = StateDone
+			j.cached = true
+			j.text = text
+			j.finished = time.Now()
+			close(j.done)
+			s.jobs[j.id] = j
+			gcKeys = append(gcKeys, rec.Key)
+			continue
+		}
+		recovered = append(recovered, j)
+	}
+	return recovered, gcKeys
 }
 
 // Metrics exposes the server's registry (tests and the /v1/metrics
@@ -227,9 +339,16 @@ const maxBodyBytes = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"job spec exceeds the %d-byte limit (a spec is a handful of scalar knobs; this is not one)", maxBodyBytes)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
 		return
 	}
@@ -238,13 +357,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	j, status, err := s.submit(spec, cfg, key)
+	j, status, retryAfter, err := s.submit(spec, cfg, key)
 	if err != nil {
-		switch status {
-		case http.StatusTooManyRequests:
-			w.Header().Set("Retry-After", "1")
-		case http.StatusServiceUnavailable:
-			w.Header().Set("Retry-After", "5")
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
 		}
 		writeError(w, status, "%v", err)
 		return
@@ -253,10 +369,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, j.view())
 }
 
-// submit deduplicates, consults the response cache, and enqueues. The
-// returned status is 200 for an existing/cached job, 202 for a freshly
-// queued one.
-func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string) (*job, int, error) {
+// submit deduplicates, consults the response cache, applies load
+// shedding and the queue-depth bound, journals the accepted descriptor,
+// and enqueues. The returned status is 200 for an existing/cached job,
+// 202 for a freshly queued one; on rejection retryAfter carries the
+// Retry-After hint in seconds.
+func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string) (j *job, status, retryAfter int, err error) {
 	id := jobID(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -271,18 +389,18 @@ func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string) (*job, i
 			if state == StateDone {
 				s.reg.AddUint("server/cache_hits", 1)
 			}
-			return existing, http.StatusOK, nil
+			return existing, http.StatusOK, 0, nil
 		}
 		// failed/canceled: fall through and replace with a fresh attempt.
 		delete(s.jobs, id)
 	}
 	if s.draining {
-		return nil, http.StatusServiceUnavailable, errors.New("server is draining; not accepting new jobs")
+		return nil, http.StatusServiceUnavailable, 5, errors.New("server is draining; not accepting new jobs")
 	}
 	s.reg.AddUint("server/jobs_submitted", 1)
 
-	j := &job{id: id, key: key, spec: spec, cfg: cfg,
-		state: StateQueued, created: time.Now(), done: make(chan struct{})}
+	j = &job{id: id, key: key, spec: spec, cfg: cfg,
+		state: StateQueued, created: time.Now(), seq: 1, done: make(chan struct{})}
 
 	// Warm path: a prior run of this exact descriptor — possibly by an
 	// earlier process over the same cache directory — already persisted
@@ -295,20 +413,56 @@ func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string) (*job, i
 		close(j.done)
 		s.insertLocked(j)
 		s.reg.AddUint("server/cache_hits", 1)
-		return j, http.StatusOK, nil
+		return j, http.StatusOK, 0, nil
 	}
 	s.reg.AddUint("server/cache_misses", 1)
 
-	select {
-	case s.queue <- j:
-	default:
-		s.reg.AddUint("server/queue_rejected", 1)
-		return nil, http.StatusTooManyRequests,
-			fmt.Errorf("admission queue full (%d queued); retry later", cap(s.queue))
+	// Latency-aware shedding: refuse work we could queue but not serve
+	// within the configured wait bound. Softer and earlier than the hard
+	// depth limit below, with an honest Retry-After.
+	if wait := s.estimatedWaitLocked(); s.cfg.ShedLatency > 0 && wait > s.cfg.ShedLatency {
+		s.reg.AddUint("server/shed_rejected", 1)
+		return nil, http.StatusServiceUnavailable, retryAfterSeconds(wait),
+			fmt.Errorf("estimated queue wait %s exceeds the %s shed bound; retry later",
+				wait.Round(time.Millisecond), s.cfg.ShedLatency)
 	}
+
+	// Hard depth bound. The channel itself may be larger (journal
+	// recovery pre-seeds it), so the client-facing limit is an explicit
+	// length check; all sends happen under s.mu, so the send below cannot
+	// block.
+	if len(s.queue) >= s.cfg.QueueDepth {
+		s.reg.AddUint("server/queue_rejected", 1)
+		return nil, http.StatusTooManyRequests, 1,
+			fmt.Errorf("admission queue full (%d queued); retry later", s.cfg.QueueDepth)
+	}
+
+	// Durability point: the accepted descriptor is journaled before the
+	// 202 leaves the building, so a crash at any later moment leaves a
+	// record to replay.
 	s.insertLocked(j)
+	s.journal.record(j)
+	s.queue <- j
 	s.reg.SetMax("server/queue_high_water", float64(len(s.queue)))
-	return j, http.StatusAccepted, nil
+	return j, http.StatusAccepted, 0, nil
+}
+
+// estimatedWaitLocked predicts how long a new submission would sit in the
+// queue: jobs ahead of it times the observed mean job duration, spread
+// over the worker pool. Zero until the first job completes — the server
+// sheds on evidence, not guesses. Callers hold s.mu.
+func (s *Server) estimatedWaitLocked() time.Duration {
+	avg := s.avgRunNanos.Load()
+	if avg <= 0 {
+		return 0
+	}
+	return time.Duration(int64(len(s.queue)) * avg / int64(s.cfg.Workers))
+}
+
+// retryAfterSeconds renders a wait estimate as a Retry-After value
+// (whole seconds, at least 1).
+func retryAfterSeconds(wait time.Duration) int {
+	return int(math.Max(1, math.Ceil(wait.Seconds())))
 }
 
 // insertLocked adds j to the job table and evicts the oldest terminal
@@ -357,17 +511,22 @@ func (s *Server) cachedText(key string) (string, bool) {
 	return c.Text, true
 }
 
+// persistResult writes the rendered report into the response cache and
+// folds the outcome into the cache's health state: the first failure
+// flips the server into explicitly-degraded "cache-disabled" mode (gauge
+// + one-shot log), and the first subsequent success re-enables it. A
+// degraded cache never fails the job — the report is still served from
+// memory; it just recomputes after a restart.
 func (s *Server) persistResult(key, experiment, text string) {
 	if s.results == nil {
 		return
 	}
 	payload, err := json.Marshal(cachedResult{Experiment: experiment, Text: text})
 	if err != nil {
+		s.cacheHealth.observe(fmt.Errorf("encode result: %w", err))
 		return
 	}
-	// Put errors are counted in the store's stats; a lost write only
-	// means the job recomputes after a restart.
-	_ = s.results.Put(key, payload)
+	s.cacheHealth.observe(s.results.Put(key, payload))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -459,8 +618,10 @@ func (s *Server) cancelJob(j *job, reason string) bool {
 		j.canceled = true
 		j.errMsg = reason
 		j.finished = time.Now()
+		j.seq++
 		close(j.done)
 		j.mu.Unlock()
+		s.journal.record(j)
 		s.reg.AddUint("server/jobs_canceled", 1)
 		return true
 	case StateRunning:
@@ -478,10 +639,28 @@ func (s *Server) cancelJob(j *job, reason string) bool {
 	}
 }
 
+// metricsResponse is the /v1/metrics body: the numeric snapshot plus an
+// errors section carrying the persistence stack's last write failures
+// verbatim (path included), so a full disk is diagnosable from one curl.
+type metricsResponse struct {
+	metrics.Snapshot
+	Errors map[string]string `json:"errors,omitempty"`
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.snapshotMetrics()
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	_ = snap.WriteJSON(w)
+	resp := metricsResponse{Snapshot: s.snapshotMetrics(), Errors: map[string]string{}}
+	if s.results != nil {
+		if e := s.results.LastWriteError(); e != "" {
+			resp.Errors["server/result_store/last_write_error"] = e
+		}
+	}
+	if e := s.journal.lastWriteError(); e != "" {
+		resp.Errors["server/journal/last_write_error"] = e
+	}
+	if len(resp.Errors) == 0 {
+		resp.Errors = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) snapshotMetrics() metrics.Snapshot {
@@ -491,17 +670,38 @@ func (s *Server) snapshotMetrics() metrics.Snapshot {
 	reg.AddUint("server/jobs_tracked", uint64(len(s.jobs)))
 	reg.AddUint("server/queue_len", uint64(len(s.queue)))
 	s.mu.Unlock()
-	if s.results != nil {
-		hits, misses, discards, writeErrs := s.results.Stats()
-		reg.AddUint("server/result_store/hits", hits)
-		reg.AddUint("server/result_store/misses", misses)
-		reg.AddUint("server/result_store/discards", discards)
-		reg.AddUint("server/result_store/write_errors", writeErrs)
-		if n, err := s.results.Len(); err == nil {
-			reg.AddUint("server/result_store/entries", uint64(n))
+	reg.SetMax("server/cache_degraded", bool01(s.cacheHealth.isDegraded()))
+	reg.SetMax("server/journal_degraded", bool01(s.journalHealth.isDegraded()))
+	if avg := s.avgRunNanos.Load(); avg > 0 {
+		reg.SetMax("server/job_duration_ewma_s", time.Duration(avg).Seconds())
+	}
+	storeStats := func(prefix string, st *checkpoint.Store) {
+		hits, misses, discards, writeErrs := st.Stats()
+		reg.AddUint(prefix+"/hits", hits)
+		reg.AddUint(prefix+"/misses", misses)
+		reg.AddUint(prefix+"/discards", discards)
+		reg.AddUint(prefix+"/write_errors", writeErrs)
+		if n, err := st.Len(); err == nil {
+			reg.AddUint(prefix+"/entries", uint64(n))
 		}
 	}
+	if s.results != nil {
+		storeStats("server/result_store", s.results)
+	}
+	if s.units != nil {
+		storeStats("server/unit_store", s.units)
+	}
+	if s.journal != nil {
+		storeStats("server/journal", s.journal.st)
+	}
 	return reg.Snapshot()
+}
+
+func bool01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // worker executes queued jobs until the queue is closed by Drain.
@@ -522,14 +722,16 @@ func (s *Server) runJob(j *job) {
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.seq++
 	cfg := j.cfg
 	j.mu.Unlock()
 	defer cancel()
+	s.journal.record(j)
 
 	// Server-side plumbing, applied after the canonical key was derived
 	// from the client-visible spec: the shared per-unit checkpoint store
-	// (so drained jobs resume instead of recomputing) and the default
-	// per-unit timeout.
+	// (so drained and crash-recovered jobs resume instead of recomputing)
+	// and the default per-unit timeout.
 	if s.unitsDir != "" {
 		cfg.CheckpointDir = s.unitsDir
 	}
@@ -538,7 +740,7 @@ func (s *Server) runJob(j *job) {
 	}
 
 	s.log.Info("job start", "job", j.id, "experiment", j.spec.Experiment)
-	text, err := s.cfg.runner(ctx, j.spec.Experiment, cfg)
+	text, err := s.runWithRetries(ctx, j, cfg)
 
 	// Persist before publishing the terminal state: a client (or a
 	// restarted server) that observes "done" must find the cached bytes.
@@ -548,6 +750,7 @@ func (s *Server) runJob(j *job) {
 
 	j.mu.Lock()
 	j.finished = time.Now()
+	attempts := len(j.attempts)
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -562,15 +765,112 @@ func (s *Server) runJob(j *job) {
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
+		if attempts > 1 {
+			j.errMsg = fmt.Sprintf("failed after %d attempts (see attempts history): %v", attempts, err)
+		}
 		s.reg.AddUint("server/jobs_failed", 1)
 	}
+	j.seq++
 	state, errMsg := j.state, j.errMsg
 	dur := j.finished.Sub(j.started)
 	close(j.done)
 	j.mu.Unlock()
+	s.journal.record(j)
+	s.observeRunDuration(dur)
 
-	s.log.Info("job finish", "job", j.id, "state", state,
+	s.log.Info("job finish", "job", j.id, "state", state, "attempts", attempts,
 		"dur_s", dur.Seconds(), "err", errMsg)
+}
+
+// runWithRetries executes the job's runner, retrying transient failures —
+// injected I/O faults and internal panics the harness recovered
+// (charonsim.ErrInternal) — with exponential backoff plus deterministic
+// jitter, up to the configured budget. Every attempt lands in the job's
+// (and journal's) attempt history; completed replay units persist in the
+// per-unit checkpoint store across attempts, so a retry only re-executes
+// what the failed attempt left unfinished.
+func (s *Server) runWithRetries(ctx context.Context, j *job, cfg charonsim.Config) (string, error) {
+	for attempt := 0; ; attempt++ {
+		started := time.Now()
+		text, err := s.cfg.runner(ctx, j.spec.Experiment, cfg)
+
+		j.mu.Lock()
+		j.attempts = append(j.attempts, attemptRecord{
+			Started: started, Finished: time.Now(), Error: errString(err),
+		})
+		j.seq++
+		canceled := j.canceled
+		j.mu.Unlock()
+
+		if err == nil || canceled || errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			return text, err
+		}
+		if !transientErr(err) || attempt >= s.cfg.RetryBudget {
+			return text, err
+		}
+
+		delay := backoffDelay(s.cfg.RetryBackoff, attempt, j.id)
+		s.reg.AddUint("server/jobs_retried", 1)
+		s.log.Warn("job retry", "job", j.id, "attempt", attempt+1,
+			"budget", s.cfg.RetryBudget, "backoff", delay.String(), "err", err.Error())
+		s.journal.record(j) // attempt history survives a crash mid-backoff
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+}
+
+// transientErr classifies failures worth retrying: injected I/O faults
+// (fault.ErrInjected) and internal panics the harness recovered into
+// charonsim.ErrInternal. Validation errors, watchdog aborts, and
+// cancellations are terminal.
+func transientErr(err error) bool {
+	return errors.Is(err, charonsim.ErrInternal) || errors.Is(err, fault.ErrInjected)
+}
+
+// backoffDelay is the wait before retry `attempt`: base doubling per
+// attempt (capped at 64x) plus up to +50% jitter derived deterministically
+// from the job id and attempt number — the same job retries on the same
+// schedule in every process, keeping chaos runs reproducible, while
+// different jobs desynchronize.
+func backoffDelay(base time.Duration, attempt int, id string) time.Duration {
+	shift := attempt
+	if shift > 6 {
+		shift = 6
+	}
+	d := base << uint(shift)
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	z := h.Sum64() ^ uint64(attempt+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / (1 << 53)
+	return d + time.Duration(float64(d)*frac/2)
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// observeRunDuration feeds the shed estimator's EWMA (weight 1/4 on the
+// newest observation).
+func (s *Server) observeRunDuration(d time.Duration) {
+	for {
+		old := s.avgRunNanos.Load()
+		ewma := int64(d)
+		if old > 0 {
+			ewma = (3*old + int64(d)) / 4
+		}
+		if s.avgRunNanos.CompareAndSwap(old, ewma) {
+			return
+		}
+	}
 }
 
 // runExperiments is the real runner: the public harness entry points,

@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — kill-9 crash-recovery check for the charond job
+# journal, usable locally and as the CI chaos-smoke job:
+#
+#   1. boot charond with a cache directory and submit a sweep job,
+#   2. kill -9 the server mid-run, once at least one simulation unit has
+#      been checkpointed (so recovery genuinely resumes partial work),
+#   3. restart charond over the same cache directory and assert the job
+#      reappears from the journal — same id, no resubmission — and runs
+#      to completion,
+#   4. assert no completed unit was re-executed (the checkpointed unit
+#      files survive the restart byte-for-byte untouched),
+#   5. assert the recovered job's report is byte-identical to the
+#      charonsim CLI's output for the same configuration,
+#   6. SIGTERM the server and assert a clean drain.
+#
+# Any divergence — a lost job, a re-executed unit, a byte of report
+# drift — fails the script. On failure the journal directory is left in
+# $CHAOS_ARTIFACT_DIR (when set) for post-mortem.
+set -u -o pipefail
+
+EXP=${EXP:-fig2}
+WORKLOADS=${WORKLOADS:-BS}
+GO=${GO:-go}
+WORK=$(mktemp -d)
+CHAROND_PID=""
+
+preserve_artifacts() {
+    if [ -n "${CHAOS_ARTIFACT_DIR:-}" ] && [ -d "$WORK/cache/journal" ]; then
+        mkdir -p "$CHAOS_ARTIFACT_DIR"
+        cp -r "$WORK/cache/journal" "$CHAOS_ARTIFACT_DIR/" 2>/dev/null
+        cp "$WORK"/charond*.err "$CHAOS_ARTIFACT_DIR/" 2>/dev/null
+    fi
+}
+fail() {
+    echo "FAIL: $*"
+    preserve_artifacts
+    exit 1
+}
+cleanup() {
+    [ -n "$CHAROND_PID" ] && kill -9 "$CHAROND_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+boot() { # boot <outfile> <errfile>; sets CHAROND_PID and BASE
+    "$WORK/charond" -addr 127.0.0.1:0 -workers 1 -queue 4 \
+        -cache-dir "$WORK/cache" >"$1" 2>"$2" &
+    CHAROND_PID=$!
+    BASE=""
+    for _ in $(seq 1 200); do
+        BASE=$(sed -n 's/^charond listening on //p' "$1" | head -n1)
+        [ -n "$BASE" ] && break
+        if ! kill -0 "$CHAROND_PID" 2>/dev/null; then
+            cat "$2"
+            fail "charond exited before listening"
+        fi
+        sleep 0.05
+    done
+    [ -n "$BASE" ] || fail "charond never announced its address"
+}
+
+echo "== building charonsim + charond =="
+$GO build -o "$WORK/charonsim" ./cmd/charonsim || exit 1
+$GO build -o "$WORK/charond" ./cmd/charond || exit 1
+
+echo "== phase 1: boot and submit =="
+boot "$WORK/charond1.out" "$WORK/charond1.err"
+echo "charond (pid $CHAROND_PID) at $BASE"
+BODY=$(printf '{"experiment":"%s","workloads":["%s"]}' "$EXP" "$WORKLOADS")
+ID=$(curl -fsS -d "$BODY" "$BASE/v1/jobs" | jq -r .id)
+[ -n "$ID" ] && [ "$ID" != "null" ] || fail "submission returned no job id"
+echo "job $ID submitted"
+
+# The 202 contract: the journal record is on disk before the response.
+J=$(ls "$WORK"/cache/journal/*.ckpt.json 2>/dev/null | wc -l)
+[ "$J" -ge 1 ] || fail "no journal record on disk after the 202 (found $J)"
+
+echo "== phase 2: kill -9 mid-run =="
+# Wait for the first completed simulation unit so the recovery genuinely
+# resumes partial work rather than starting cold.
+for _ in $(seq 1 1200); do
+    if compgen -G "$WORK/cache/units/*.ckpt.json" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$CHAROND_PID" 2>/dev/null || fail "charond died before checkpointing a unit"
+    sleep 0.05
+done
+compgen -G "$WORK/cache/units/*.ckpt.json" >/dev/null 2>&1 \
+    || fail "no unit checkpoint appeared; cannot exercise mid-run recovery"
+kill -9 "$CHAROND_PID"
+wait "$CHAROND_PID" 2>/dev/null
+CHAROND_PID=""
+# Fingerprint the units completed before the crash: recovery must reuse
+# them, so their files must be untouched after the job finishes.
+stat -c '%n %Y %s' "$WORK"/cache/units/*.ckpt.json | sort >"$WORK/units.before"
+N=$(wc -l <"$WORK/units.before")
+echo "killed -9 with $N checkpointed unit(s)"
+
+echo "== phase 3: restart and recover =="
+boot "$WORK/charond2.out" "$WORK/charond2.err"
+echo "charond restarted (pid $CHAROND_PID) at $BASE"
+# The job must be visible without any resubmission — replayed from the
+# journal under its original id.
+CODE=$(curl -s -o "$WORK/job.json" -w '%{http_code}' "$BASE/v1/jobs/$ID")
+[ "$CODE" = "200" ] || { cat "$WORK/charond2.err"; fail "recovered job GET = $CODE, want 200"; }
+REC=$(jq -r '.recovered // 0' "$WORK/job.json")
+[ "$REC" -ge 1 ] || fail "job not marked as crash-recovered (recovered=$REC)"
+
+STATE=""
+for _ in $(seq 1 2400); do
+    STATE=$(curl -fsS "$BASE/v1/jobs/$ID" | jq -r .state)
+    case "$STATE" in
+        done) break ;;
+        failed|canceled)
+            curl -fsS "$BASE/v1/jobs/$ID" | jq .
+            fail "recovered job ended $STATE" ;;
+    esac
+    sleep 0.25
+done
+[ "$STATE" = "done" ] || fail "recovered job never completed (state $STATE)"
+curl -fsS "$BASE/v1/jobs/$ID/result" >"$WORK/served.out" || fail "result fetch failed"
+RECOVERED=$(curl -fsS "$BASE/v1/metrics" | jq -r '.counters["server/journal_recovered"] // 0')
+[ "${RECOVERED%.*}" -ge 1 ] || fail "/v1/metrics reports no journal recovery"
+
+echo "== phase 4: no duplicate unit execution =="
+stat -c '%n %Y %s' $(cut -d' ' -f1 "$WORK/units.before") | sort >"$WORK/units.after"
+if ! diff "$WORK/units.before" "$WORK/units.after"; then
+    fail "pre-crash unit checkpoints were rewritten — completed work re-executed"
+fi
+echo "all $N pre-crash unit(s) reused untouched"
+
+echo "== phase 5: byte-identity against the CLI =="
+if ! "$WORK/charonsim" -exp "$EXP" -workloads "$WORKLOADS" >"$WORK/cli.out" 2>"$WORK/cli.err"; then
+    cat "$WORK/cli.err"
+    fail "CLI run failed"
+fi
+grep -v '^([0-9]* experiment(s) in ' "$WORK/cli.out" >"$WORK/cli.stripped"
+if ! diff "$WORK/served.out" "$WORK/cli.stripped"; then
+    fail "recovered report diverged from the CLI output"
+fi
+echo "recovered report is byte-identical to the CLI"
+
+echo "== phase 6: SIGTERM drain =="
+kill -TERM "$CHAROND_PID"
+wait "$CHAROND_PID"
+CODE=$?
+CHAROND_PID=""
+if [ "$CODE" -ne 0 ]; then
+    cat "$WORK/charond2.err"
+    fail "drain exited $CODE, want 0"
+fi
+echo "PASS: chaos smoke complete (kill -9 recovered, no re-execution, byte-identical)"
