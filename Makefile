@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke serve-smoke chaos-smoke lint ci
+.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke serve-smoke chaos-smoke netchaos-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,14 @@ serve-smoke:
 chaos-smoke:
 	./scripts/chaos_smoke.sh
 
+# Network-chaos smoke: put the seeded netfault proxy between charonctl
+# and charond, drive submit → poll → result through injected resets,
+# blackholes, latency, truncations and slowloris reads, and assert the
+# report stays byte-identical to the CLI while the proxy's fault log and
+# the client's retry counters reconcile (see the script). Needs jq.
+netchaos-smoke:
+	./scripts/netchaos_smoke.sh
+
 # Serial-vs-parallel wall-time comparison (also verifies byte-identical
 # output across parallelism settings).
 parbench:
@@ -100,4 +108,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
 	fi
 
-ci: lint build test race audit faults resume-smoke serve-smoke chaos-smoke
+ci: lint build test race audit faults resume-smoke serve-smoke chaos-smoke netchaos-smoke

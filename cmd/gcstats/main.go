@@ -9,48 +9,62 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"charonsim"
 )
 
-func main() {
+// Main executes the gcstats command with the given arguments (excluding
+// the program name) and returns the process exit code: 0 on success
+// (including -h/-help, which prints usage and exits cleanly), 1 on a
+// simulation failure, 2 on a flag parse error — the same contract as
+// the charonsim CLI and charond.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcstats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name     = flag.String("workload", "BS", "workload: BS, KM, LR, CC, PR, ALS")
-		platform = flag.String("platform", "charon", "platform: ddr4, hmc, charon, charon-distributed, charon-cpuside, ideal")
-		factor   = flag.Float64("factor", 1.5, "heap overprovisioning factor")
-		threads  = flag.Int("threads", 8, "GC threads")
-		compare  = flag.Bool("compare", false, "also run every other platform and print speedups")
-		perGC    = flag.Bool("percollection", false, "print one line per collection")
+		name     = fs.String("workload", "BS", "workload: BS, KM, LR, CC, PR, ALS")
+		platform = fs.String("platform", "charon", "platform: ddr4, hmc, charon, charon-distributed, charon-cpuside, ideal")
+		factor   = fs.Float64("factor", 1.5, "heap overprovisioning factor")
+		threads  = fs.Int("threads", 8, "GC threads")
+		compare  = fs.Bool("compare", false, "also run every other platform and print speedups")
+		perGC    = fs.Bool("percollection", false, "print one line per collection")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	st, err := charonsim.SimulateGC(*name, *factor, charonsim.Platform(*platform), *threads)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "gcstats: %v\n", err)
+		return 1
 	}
 
 	info, _ := charonsim.DescribeWorkload(*name)
-	fmt.Printf("workload    %s (%s, %s; dataset: %s)\n", info.Name, info.Long, info.Framework, info.Dataset)
-	fmt.Printf("heap        %.2fx minimum (%d MB)\n", st.HeapFactor, uint64(float64(info.MinHeapBytes)*st.HeapFactor)>>20)
-	fmt.Printf("platform    %s, %d GC threads\n", st.Platform, st.Threads)
-	fmt.Printf("collections %d minor + %d major\n", st.MinorGCs, st.MajorGCs)
-	fmt.Printf("gc pause    %v total (mutator %v, overhead %.1f%%)\n",
+	fmt.Fprintf(stdout, "workload    %s (%s, %s; dataset: %s)\n", info.Name, info.Long, info.Framework, info.Dataset)
+	fmt.Fprintf(stdout, "heap        %.2fx minimum (%d MB)\n", st.HeapFactor, uint64(float64(info.MinHeapBytes)*st.HeapFactor)>>20)
+	fmt.Fprintf(stdout, "platform    %s, %d GC threads\n", st.Platform, st.Threads)
+	fmt.Fprintf(stdout, "collections %d minor + %d major\n", st.MinorGCs, st.MajorGCs)
+	fmt.Fprintf(stdout, "gc pause    %v total (mutator %v, overhead %.1f%%)\n",
 		st.TotalPause, st.MutatorTime, st.Overhead()*100)
-	fmt.Printf("reclaimed   %.1f MB (live at collections: %.1f MB)\n",
+	fmt.Fprintf(stdout, "reclaimed   %.1f MB (live at collections: %.1f MB)\n",
 		float64(st.ReclaimedBytes)/1e6, float64(st.LiveBytes)/1e6)
-	fmt.Printf("bandwidth   %.1f GB/s during GC", st.Bandwidth)
+	fmt.Fprintf(stdout, "bandwidth   %.1f GB/s during GC", st.Bandwidth)
 	if st.LocalRatio > 0 {
-		fmt.Printf(" (%.0f%% serviced by the local cube)", st.LocalRatio*100)
+		fmt.Fprintf(stdout, " (%.0f%% serviced by the local cube)", st.LocalRatio*100)
 	}
-	fmt.Println()
-	fmt.Printf("energy      %.4f J\n", st.EnergyJoules)
+	fmt.Fprintln(stdout)
+	fmt.Fprintf(stdout, "energy      %.4f J\n", st.EnergyJoules)
 
-	fmt.Println("per-primitive time:")
+	fmt.Fprintln(stdout, "per-primitive time:")
 	type kv struct {
 		name string
 		sec  float64
@@ -66,38 +80,43 @@ func main() {
 		if p.sec == 0 {
 			continue
 		}
-		fmt.Printf("  %-14s %8.3f ms  (%4.1f%%)\n", p.name, p.sec*1e3, p.sec/total*100)
+		fmt.Fprintf(stdout, "  %-14s %8.3f ms  (%4.1f%%)\n", p.name, p.sec*1e3, p.sec/total*100)
 	}
 
 	if *perGC {
 		events, err := charonsim.SimulateGCEvents(*name, *factor, charonsim.Platform(*platform), *threads)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gcstats: %v\n", err)
+			return 1
 		}
-		fmt.Println("\nper-collection log:")
+		fmt.Fprintln(stdout, "\nper-collection log:")
 		for _, ev := range events {
-			fmt.Printf("  [%2d] %-9s %-32s pause %10v  live %8.1f KB  reclaimed %8.1f KB  %6.1f GB/s\n",
+			fmt.Fprintf(stdout, "  [%2d] %-9s %-32s pause %10v  live %8.1f KB  reclaimed %8.1f KB  %6.1f GB/s\n",
 				ev.Seq, ev.Kind, ev.Reason, ev.Pause,
 				float64(ev.LiveBytes)/1024, float64(ev.ReclaimedBytes)/1024, ev.BandwidthGBs)
 		}
 	}
 
 	if *compare {
-		fmt.Println("\nspeedup over ddr4:")
+		fmt.Fprintln(stdout, "\nspeedup over ddr4:")
 		base, err := charonsim.SimulateGC(*name, *factor, charonsim.PlatformDDR4, *threads)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gcstats: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "gcstats: %v\n", err)
+			return 1
 		}
 		for _, p := range charonsim.Platforms() {
 			o, err := charonsim.SimulateGC(*name, *factor, p, *threads)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "gcstats: %s: %v\n", p, err)
+				fmt.Fprintf(stderr, "gcstats: %s: %v\n", p, err)
 				continue
 			}
-			fmt.Printf("  %-20s %6.2fx  (pause %v)\n", p,
+			fmt.Fprintf(stdout, "  %-20s %6.2fx  (pause %v)\n", p,
 				float64(base.TotalPause)/float64(o.TotalPause), o.TotalPause)
 		}
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(Main(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestGcstatsHelperProcess re-enters the gcstats command inside the
+// test binary for the subprocess exit-code tests. Inert in normal runs.
+func TestGcstatsHelperProcess(t *testing.T) {
+	if os.Getenv("GCSTATS_HELPER") != "1" {
+		t.Skip("not a helper invocation")
+	}
+	args := []string{}
+	if raw := os.Getenv("GCSTATS_ARGS"); raw != "" {
+		args = strings.Split(raw, "\x1f")
+	}
+	os.Exit(Main(args, os.Stdout, os.Stderr))
+}
+
+// helperExit runs Main as a real process and returns its exit code —
+// the contract scripts and CI see, independent of the Go toolchain's
+// flag.ExitOnError behaviour of the day.
+func helperExit(t *testing.T, args ...string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestGcstatsHelperProcess$")
+	cmd.Env = append(os.Environ(), "GCSTATS_HELPER=1",
+		"GCSTATS_ARGS="+strings.Join(args, "\x1f"))
+	err := cmd.Run()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	t.Fatalf("helper: %v", err)
+	return -1
+}
+
+func TestGcstatsHelpExitsZero(t *testing.T) {
+	for _, flag := range []string{"-h", "-help"} {
+		var out, errb bytes.Buffer
+		if code := Main([]string{flag}, &out, &errb); code != 0 {
+			t.Fatalf("gcstats %s exited %d, want 0 (stderr: %s)", flag, code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "Usage of gcstats") {
+			t.Fatalf("gcstats %s printed no usage text:\n%s", flag, errb.String())
+		}
+	}
+	if code := helperExit(t, "-h"); code != 0 {
+		t.Fatalf("gcstats -h subprocess exited %d, want 0", code)
+	}
+}
+
+func TestGcstatsBadFlagExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if code := helperExit(t, "-not-a-flag"); code != 2 {
+		t.Fatalf("bad-flag subprocess exited %d, want 2", code)
+	}
+}
+
+func TestGcstatsBadWorkloadExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-workload", "NOPE"}, &out, &errb); code != 1 {
+		t.Fatalf("unknown workload exited %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "gcstats:") {
+		t.Fatalf("no error line on stderr:\n%s", errb.String())
+	}
+}
+
+func TestGcstatsRunsOneWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-workload", "BS"}, &out, &errb); code != 0 {
+		t.Fatalf("gcstats -workload BS exited %d (stderr: %s)", code, errb.String())
+	}
+	for _, want := range []string{"workload    BS", "platform    charon", "per-primitive time:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}

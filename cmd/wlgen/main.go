@@ -11,48 +11,62 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"charonsim/internal/gc"
 	"charonsim/internal/workload"
 )
 
-func main() {
+// Main executes the wlgen command with the given arguments (excluding
+// the program name) and returns the process exit code: 0 on success
+// (including -h/-help, which prints usage and exits cleanly), 1 on a
+// workload failure, 2 on a flag parse error — the same contract as the
+// charonsim CLI and charond.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wlgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("workload", "BS", "workload: BS, KM, LR, CC, PR, ALS")
-		factor  = flag.Float64("factor", 1.5, "heap overprovisioning factor")
-		events  = flag.Bool("events", false, "print the per-collection log")
-		jsonOut = flag.Bool("json", false, "emit the GC log as newline-delimited JSON and exit")
+		name    = fs.String("workload", "BS", "workload: BS, KM, LR, CC, PR, ALS")
+		factor  = fs.Float64("factor", 1.5, "heap overprovisioning factor")
+		events  = fs.Bool("events", false, "print the per-collection log")
+		jsonOut = fs.Bool("json", false, "emit the GC log as newline-delimited JSON and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	w, err := workload.New(*name)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "wlgen: %v\n", err)
+		return 1
 	}
 	col, err := workload.RunRecorded(w, *factor)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "wlgen: %v\n", err)
+		return 1
 	}
 	if *jsonOut {
-		if err := gc.WriteLog(os.Stdout, col.Log); err != nil {
-			fmt.Fprintf(os.Stderr, "wlgen: %v\n", err)
-			os.Exit(1)
+		if err := gc.WriteLog(stdout, col.Log); err != nil {
+			fmt.Fprintf(stderr, "wlgen: %v\n", err)
+			return 1
 		}
-		return
+		return 0
 	}
 	sp := w.Spec()
-	fmt.Printf("workload %s (%s) on %d MB heap (%.2fx min)\n",
+	fmt.Fprintf(stdout, "workload %s (%s) on %d MB heap (%.2fx min)\n",
 		sp.Name, sp.Long, workload.HeapFor(sp, *factor)>>20, *factor)
-	fmt.Printf("allocated: %d objects, %.1f MB\n",
+	fmt.Fprintf(stdout, "allocated: %d objects, %.1f MB\n",
 		col.H.Stats.AllocatedObjects, float64(col.H.Stats.AllocatedBytes)/1e6)
-	fmt.Printf("promoted:  %d objects, %.1f MB\n",
+	fmt.Fprintf(stdout, "promoted:  %d objects, %.1f MB\n",
 		col.H.Stats.PromotedObjects, float64(col.H.Stats.PromotedBytes)/1e6)
-	fmt.Printf("GCs: %d minor, %d major\n", col.Stats.Minors, col.Stats.Majors)
+	fmt.Fprintf(stdout, "GCs: %d minor, %d major\n", col.Stats.Minors, col.Stats.Majors)
 
 	// Demographics over all recorded copies and scans.
 	var copyCount, copyBytes, maxCopy uint64
@@ -88,30 +102,35 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("\nobject demographics (over GC work):\n")
+	fmt.Fprintf(stdout, "\nobject demographics (over GC work):\n")
 	if copyCount > 0 {
-		fmt.Printf("  copies: %d, avg %.0f B, max %.1f KB\n",
+		fmt.Fprintf(stdout, "  copies: %d, avg %.0f B, max %.1f KB\n",
 			copyCount, float64(copyBytes)/float64(copyCount), float64(maxCopy)/1024)
 	}
 	for _, b := range []string{"<=64B", "<=512B", "<=4KB", "<=64KB", ">64KB"} {
 		if sizeBuckets[b] > 0 {
-			fmt.Printf("    %-7s %6d copies\n", b, sizeBuckets[b])
+			fmt.Fprintf(stdout, "    %-7s %6d copies\n", b, sizeBuckets[b])
 		}
 	}
 	if scanCount > 0 {
-		fmt.Printf("  scans: %d, avg %.2f references per object scan\n",
+		fmt.Fprintf(stdout, "  scans: %d, avg %.2f references per object scan\n",
 			scanCount, float64(refCount)/float64(scanCount))
 	}
-	fmt.Printf("  refs per copied KB: %.2f\n", float64(refCount)/(float64(copyBytes)/1024+1))
+	fmt.Fprintf(stdout, "  refs per copied KB: %.2f\n", float64(refCount)/(float64(copyBytes)/1024+1))
 
 	if *events {
-		fmt.Println("\ngc log:")
+		fmt.Fprintln(stdout, "\ngc log:")
 		for _, ev := range col.Log {
 			counts := ev.CountByPrim()
-			fmt.Printf("  [%2d] %-5s %-26s live %7.1f KB, reclaimed %8.1f KB, promoted %7.1f KB  (copy=%d search=%d scan=%d bc=%d)\n",
+			fmt.Fprintf(stdout, "  [%2d] %-5s %-26s live %7.1f KB, reclaimed %8.1f KB, promoted %7.1f KB  (copy=%d search=%d scan=%d bc=%d)\n",
 				ev.Seq, ev.Kind, ev.Reason,
 				float64(ev.LiveBytes)/1024, float64(ev.ReclaimedBytes)/1024, float64(ev.PromotedBytes)/1024,
 				counts[gc.PrimCopy], counts[gc.PrimSearch], counts[gc.PrimScanPush], counts[gc.PrimBitmapCount])
 		}
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(Main(os.Args[1:], os.Stdout, os.Stderr))
 }

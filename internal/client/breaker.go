@@ -1,0 +1,149 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"charonsim/internal/fault"
+	"charonsim/internal/metrics"
+)
+
+// ErrBreakerOpen is returned when the per-host circuit breaker is open
+// and the request was rejected without touching the network. The breaker
+// half-opens after its cooldown and lets a single probe through; callers
+// that can wait should retry after the cooldown.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// Breaker states, exported in the client metrics snapshot
+// (client/breaker_state gauge: 0 closed, 1 half-open, 2 open).
+const (
+	breakerClosed = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breaker is a per-host closed→open→half-open circuit breaker with
+// deterministic, seedable probe scheduling: after Threshold consecutive
+// failures it opens; Cooldown (plus up to +50% jitter drawn from the
+// client's seeded splitmix64 stream, so two clients with different seeds
+// desynchronize their probes while one client reproduces its schedule
+// exactly) later it half-opens and admits a single probe; the probe's
+// outcome closes it or re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	src       *fault.Source // guarded by mu; deterministic probe jitter
+	reg       *metrics.Registry
+
+	mu        sync.Mutex
+	state     int
+	fails     int
+	probing   bool // half-open with the probe in flight
+	nextProbe time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, src *fault.Source, reg *metrics.Registry) *breaker {
+	if threshold <= 0 {
+		return nil // disabled: a nil *breaker admits everything
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, src: src, reg: reg}
+}
+
+// allow reports whether a request may proceed now; when it may not,
+// retryAt is the deterministic instant the next probe will be admitted.
+func (b *breaker) allow(now time.Time) (ok bool, retryAt time.Time) {
+	if b == nil {
+		return true, time.Time{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, time.Time{}
+	case breakerOpen:
+		if now.Before(b.nextProbe) {
+			b.reg.AddUint("client/breaker_rejected", 1)
+			return false, b.nextProbe
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		b.reg.AddUint("client/breaker_probes", 1)
+		return true, time.Time{}
+	default: // half-open
+		if b.probing {
+			b.reg.AddUint("client/breaker_rejected", 1)
+			return false, b.nextProbe
+		}
+		b.probing = true
+		b.reg.AddUint("client/breaker_probes", 1)
+		return true, time.Time{}
+	}
+}
+
+// observe folds one request outcome into the breaker state. ok means the
+// host answered with a complete HTTP response (any status — a 429 or 400
+// proves the host is alive); !ok means a transport-level failure
+// (connect error, reset, truncated body).
+func (b *breaker) observe(ok bool, now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case ok && b.state == breakerClosed:
+		b.fails = 0
+	case ok: // half-open probe succeeded (or a straggler from before the trip)
+		b.state = breakerClosed
+		b.fails = 0
+		b.probing = false
+		b.reg.AddUint("client/breaker_closed", 1)
+	case b.state == breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip(now)
+			b.reg.AddUint("client/breaker_opened", 1)
+		}
+	case b.state == breakerHalfOpen:
+		b.trip(now)
+		b.reg.AddUint("client/breaker_reopened", 1)
+	default: // already open; a straggler failure changes nothing
+	}
+}
+
+// trip moves to open and schedules the next probe: cooldown plus up to
+// +50% deterministic jitter. Callers hold b.mu.
+func (b *breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.probing = false
+	b.fails = 0
+	b.nextProbe = now.Add(b.cooldown + jitterFrac(b.src, b.cooldown/2))
+}
+
+// stateGauge reports the current state for the metrics snapshot.
+func (b *breaker) stateGauge() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return 2
+	case breakerHalfOpen:
+		return 1
+	}
+	return 0
+}
+
+// jitterFrac draws a deterministic duration in [0, max) from src (zero
+// when src is nil or max is non-positive).
+func jitterFrac(src *fault.Source, max time.Duration) time.Duration {
+	if src == nil || max <= 0 {
+		return 0
+	}
+	// Frac is in [0, 1); Hit(p) compares the same construction against p,
+	// so drawing via Hit-style fractions keeps one stream shape.
+	return time.Duration(src.Frac() * float64(max))
+}

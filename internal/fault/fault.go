@@ -198,6 +198,17 @@ func (in *Injector) Source(name string) *Source {
 	return &Source{state: splitmix(h.Sum64() ^ uint64(in.cfg.Seed)*0x9e3779b97f4a7c15)}
 }
 
+// NewSource builds a standalone deterministic stream for a named
+// component outside an Injector — the same (name, seed) derivation
+// Injector.Source uses, exported for fault layers that have their own
+// configuration surface (the filesystem injector, the netfault TCP
+// proxy) but must stay on the one seeding discipline.
+func NewSource(name string, seed int64) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return &Source{state: splitmix(h.Sum64() ^ uint64(seed)*0x9e3779b97f4a7c15)}
+}
+
 // Source is one component's private splitmix64 stream. A nil *Source never
 // fires. Sources are not safe for concurrent use — by design: each
 // simulated component is driven by exactly one replay goroutine.
@@ -228,4 +239,15 @@ func (s *Source) Hit(p float64) bool {
 	}
 	// 53 uniform mantissa bits, the standard float64-in-[0,1) construction.
 	return float64(s.next()>>11)/(1<<53) < p
+}
+
+// Frac draws one uniform value in [0, 1) from the stream — the same
+// construction Hit compares against p — for callers that need a
+// deterministic fraction (backoff jitter, probe scheduling) rather than
+// a Bernoulli trial. Nil-safe (0).
+func (s *Source) Frac() float64 {
+	if s == nil {
+		return 0
+	}
+	return float64(s.next()>>11) / (1 << 53)
 }

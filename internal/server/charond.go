@@ -15,6 +15,23 @@ import (
 	"time"
 )
 
+// edgeServer wraps the handler in an http.Server with conservative edge
+// timeouts so a slow, stalled, or non-reading client can't pin a
+// connection (and its goroutine) forever. Handlers stream nothing
+// long-lived — job execution is asynchronous and result bodies are
+// small — so short bounds are safe on every side: read bounds cap
+// slow-request abuse, and writeTimeout tears down a connection whose
+// peer stops draining the response (a slowloris in reverse).
+func edgeServer(h http.Handler, writeTimeout time.Duration) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
 // Main executes the charond command with the given arguments (excluding
 // the program name) and returns the process exit code. It mirrors the
 // charonsim CLI's exit-code contract:
@@ -77,17 +94,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers,
 		"queue", *queueDepth, "cache_dir", *cacheDir)
 
-	// Conservative edge timeouts so a slow or stalled client can't pin a
-	// connection (and its goroutine) forever. Handlers stream nothing
-	// long-lived — job execution is asynchronous — so short bounds are
-	// safe. No WriteTimeout: result bodies are small but drain on the
-	// client's clock, and the read bounds already cap the abuse window.
-	hs := &http.Server{
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       30 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-	}
+	hs := edgeServer(srv.Handler(), 30*time.Second)
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 

@@ -147,6 +147,7 @@ type job struct {
 	created  time.Time
 	started  time.Time
 	finished time.Time
+	deadline time.Time // effective execution deadline (zero = unbounded); from X-Charon-Deadline, tightened by RunTimeout at start
 	text     string // rendered report (CLI format, no wall-clock trailer)
 	errMsg   string
 	cancel   context.CancelFunc // non-nil while running
@@ -167,6 +168,7 @@ type view struct {
 	Created    string        `json:"created,omitempty"`
 	Started    string        `json:"started,omitempty"`
 	Finished   string        `json:"finished,omitempty"`
+	Deadline   string        `json:"deadline,omitempty"`
 	Error      string        `json:"error,omitempty"`
 	Attempts   []attemptView `json:"attempts,omitempty"`
 	Recovered  int           `json:"recovered,omitempty"`
@@ -200,6 +202,9 @@ func (j *job) view() view {
 	}
 	if !j.finished.IsZero() {
 		v.Finished = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.deadline.IsZero() {
+		v.Deadline = j.deadline.UTC().Format(time.RFC3339Nano)
 	}
 	for _, a := range j.attempts {
 		av := attemptView{Started: a.Started.UTC().Format(time.RFC3339Nano), Error: a.Error}

@@ -151,11 +151,12 @@ type Server struct {
 	baseCtx    context.Context // parent of every job context
 	baseCancel context.CancelFunc
 
-	mu          sync.Mutex
-	jobs        map[string]*job
-	queue       chan *job
-	draining    bool
-	queueClosed bool
+	mu            sync.Mutex
+	jobs          map[string]*job
+	queue         chan *job
+	draining      bool
+	drainDeadline time.Time // Drain's ctx deadline; sizes the draining 503's Retry-After
+	queueClosed   bool
 	wg          sync.WaitGroup // worker goroutines
 }
 
@@ -337,6 +338,30 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // scalar knobs, so anything beyond this is malformed or hostile.
 const maxBodyBytes = 1 << 20
 
+// DeadlineHeader is the request header carrying the client's absolute
+// deadline as an RFC3339Nano timestamp. On submission it bounds the
+// job's execution: the job context expires at min(header deadline,
+// start + RunTimeout), a submission whose deadline already passed is
+// rejected with 504 before queueing, and a job whose deadline lapses
+// while queued fails without running — the server never burns worker
+// time on an answer nobody is still waiting for.
+const DeadlineHeader = "X-Charon-Deadline"
+
+// parseDeadline extracts the client deadline header (zero time when
+// absent).
+func parseDeadline(r *http.Request) (time.Time, error) {
+	raw := r.Header.Get(DeadlineHeader)
+	if raw == "" {
+		return time.Time{}, nil
+	}
+	t, err := time.Parse(time.RFC3339Nano, raw)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("invalid %s header %q: %v (want RFC3339Nano, e.g. %q)",
+			DeadlineHeader, raw, err, time.Now().UTC().Format(time.RFC3339Nano))
+	}
+	return t, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
@@ -357,7 +382,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
-	j, status, retryAfter, err := s.submit(spec, cfg, key)
+	deadline, err := parseDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !deadline.IsZero() && !deadline.After(time.Now()) {
+		s.reg.AddUint("server/deadline_expired_rejects", 1)
+		writeError(w, http.StatusGatewayTimeout,
+			"deadline %s already expired at admission; not queueing doomed work",
+			deadline.UTC().Format(time.RFC3339Nano))
+		return
+	}
+	j, status, retryAfter, err := s.submit(spec, cfg, key, deadline)
 	if err != nil {
 		if retryAfter > 0 {
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
@@ -374,7 +411,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // and enqueues. The returned status is 200 for an existing/cached job,
 // 202 for a freshly queued one; on rejection retryAfter carries the
 // Retry-After hint in seconds.
-func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string) (j *job, status, retryAfter int, err error) {
+func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string, deadline time.Time) (j *job, status, retryAfter int, err error) {
 	id := jobID(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -384,7 +421,10 @@ func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string) (j *job,
 		existing.mu.Unlock()
 		switch state {
 		case StateQueued, StateRunning, StateDone:
-			// Single-flight dedup: same descriptor, same job.
+			// Single-flight dedup: same descriptor, same job. The first
+			// submitter's deadline governs — a duplicate POST (a client
+			// retry after an ambiguous failure) must not loosen or tighten
+			// work already in flight.
 			s.reg.AddUint("server/dedup_hits", 1)
 			if state == StateDone {
 				s.reg.AddUint("server/cache_hits", 1)
@@ -395,11 +435,12 @@ func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string) (j *job,
 		delete(s.jobs, id)
 	}
 	if s.draining {
-		return nil, http.StatusServiceUnavailable, 5, errors.New("server is draining; not accepting new jobs")
+		return nil, http.StatusServiceUnavailable, s.drainRetryAfterLocked(),
+			errors.New("server is draining; not accepting new jobs")
 	}
 	s.reg.AddUint("server/jobs_submitted", 1)
 
-	j = &job{id: id, key: key, spec: spec, cfg: cfg,
+	j = &job{id: id, key: key, spec: spec, cfg: cfg, deadline: deadline,
 		state: StateQueued, created: time.Now(), seq: 1, done: make(chan struct{})}
 
 	// Warm path: a prior run of this exact descriptor — possibly by an
@@ -463,6 +504,32 @@ func (s *Server) estimatedWaitLocked() time.Duration {
 // (whole seconds, at least 1).
 func retryAfterSeconds(wait time.Duration) int {
 	return int(math.Max(1, math.Ceil(wait.Seconds())))
+}
+
+// drainRetryAfterLocked derives the Retry-After hint on the draining
+// 503: the remaining drain budget is the earliest instant a restarted
+// process could be accepting work again, so that is the honest hint.
+// Without a drain deadline (or once it has passed) fall back to the
+// queue-wait estimator. Callers hold s.mu.
+func (s *Server) drainRetryAfterLocked() int {
+	if !s.drainDeadline.IsZero() {
+		if rem := time.Until(s.drainDeadline); rem > 0 {
+			return retryAfterSeconds(rem)
+		}
+	}
+	return retryAfterSeconds(s.estimatedWaitLocked())
+}
+
+// pollRetryAfter hints when a result poller should come back: a queued
+// job's hint is its estimated queue wait (a worker has to reach it
+// first), a running job polls at the 1-second floor.
+func (s *Server) pollRetryAfter(state string) int {
+	if state != StateQueued {
+		return 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return retryAfterSeconds(s.estimatedWaitLocked())
 }
 
 // insertLocked adds j to the job table and evicts the oldest terminal
@@ -588,7 +655,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StateCanceled:
 		writeError(w, http.StatusGone, "job was canceled: %s", errMsg)
 	default: // queued, running
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.pollRetryAfter(state)))
 		writeJSON(w, http.StatusAccepted, j.view())
 	}
 }
@@ -718,15 +785,32 @@ func (s *Server) runJob(j *job) {
 		j.mu.Unlock() // canceled while queued; nothing to do
 		return
 	}
+	now := time.Now()
+	if !j.deadline.IsZero() && !j.deadline.After(now) {
+		// The client's deadline lapsed while the job sat in the queue:
+		// running it now burns a worker on an answer nobody is waiting
+		// for. Fail without executing.
+		j.state = StateFailed
+		j.errMsg = fmt.Sprintf("client deadline %s expired while queued",
+			j.deadline.UTC().Format(time.RFC3339Nano))
+		j.finished = now
+		j.seq++
+		close(j.done)
+		j.mu.Unlock()
+		s.journal.record(j)
+		s.reg.AddUint("server/deadline_expired_queued", 1)
+		s.reg.AddUint("server/jobs_failed", 1)
+		return
+	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = now
 	j.cancel = cancel
 	j.seq++
 	cfg := j.cfg
+	deadline := j.deadline
 	j.mu.Unlock()
 	defer cancel()
-	s.journal.record(j)
 
 	// Server-side plumbing, applied after the canonical key was derived
 	// from the client-visible spec: the shared per-unit checkpoint store
@@ -738,6 +822,29 @@ func (s *Server) runJob(j *job) {
 	if cfg.RunTimeout == 0 && s.cfg.JobTimeout > 0 {
 		cfg.RunTimeout = s.cfg.JobTimeout
 	}
+
+	// Deadline propagation: a client-supplied deadline bounds the
+	// execution context at min(header deadline, start + RunTimeout), and
+	// the effective value lands back in the job's status view so pollers
+	// see exactly when the server will give up. Jobs without a header
+	// deadline keep the unbounded context they have always had —
+	// RunTimeout alone stays a per-unit budget inside the harness, never
+	// a whole-job context bound.
+	if !deadline.IsZero() {
+		if cfg.RunTimeout > 0 {
+			if cand := now.Add(cfg.RunTimeout); cand.Before(deadline) {
+				deadline = cand
+			}
+		}
+		var dcancel context.CancelFunc
+		ctx, dcancel = context.WithDeadline(ctx, deadline)
+		defer dcancel()
+		j.mu.Lock()
+		j.deadline = deadline
+		j.seq++
+		j.mu.Unlock()
+	}
+	s.journal.record(j)
 
 	s.log.Info("job start", "job", j.id, "experiment", j.spec.Experiment)
 	text, err := s.runWithRetries(ctx, j, cfg)
@@ -767,6 +874,11 @@ func (s *Server) runJob(j *job) {
 		j.errMsg = err.Error()
 		if attempts > 1 {
 			j.errMsg = fmt.Sprintf("failed after %d attempts (see attempts history): %v", attempts, err)
+		}
+		if errors.Is(err, context.DeadlineExceeded) && !j.deadline.IsZero() {
+			j.errMsg = fmt.Sprintf("client deadline %s exceeded mid-run: %v",
+				j.deadline.UTC().Format(time.RFC3339Nano), err)
+			s.reg.AddUint("server/deadline_expired_running", 1)
 		}
 		s.reg.AddUint("server/jobs_failed", 1)
 	}
@@ -905,6 +1017,9 @@ func runExperiments(ctx context.Context, experiment string, cfg charonsim.Config
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
+	if dl, ok := ctx.Deadline(); ok {
+		s.drainDeadline = dl
+	}
 	if !s.queueClosed {
 		close(s.queue)
 		s.queueClosed = true
