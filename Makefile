@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke serve-smoke chaos-smoke netchaos-smoke lint ci
+.PHONY: build vet test short race golden bench bench-gate bench-baseline parbench audit faults fuzz resume-smoke serve-smoke chaos-smoke netchaos-smoke sweep-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,14 @@ chaos-smoke:
 netchaos-smoke:
 	./scripts/netchaos_smoke.sh
 
+# Sweep smoke: submit a parameter grid as one batch, kill -9 charond
+# mid-sweep, restart, and assert the journaled manifest recovers the
+# sweep under its original child ids, the combined report stays
+# byte-identical to the concatenated CLI runs, and a duplicate sweep
+# deduplicates without re-execution (see the script). Needs curl + jq.
+sweep-smoke:
+	./scripts/sweep_smoke.sh
+
 # Serial-vs-parallel wall-time comparison (also verifies byte-identical
 # output across parallelism settings).
 parbench:
@@ -108,4 +116,4 @@ lint: vet
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" ; \
 	fi
 
-ci: lint build test race audit faults resume-smoke serve-smoke chaos-smoke netchaos-smoke
+ci: lint build test race audit faults resume-smoke serve-smoke chaos-smoke netchaos-smoke sweep-smoke

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	charonctl -server http://127.0.0.1:8080 submit -experiment fig12 -wait
+//	charonctl sweep -experiments fig12,fig13 -heap-factors 1.2,1.5 -wait
 //	charonctl wait <job-id>
 //	charonctl result <job-id>
 //	charonctl cancel <job-id>

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"time"
 
@@ -93,6 +94,48 @@ func CleanWorkloads(names []string) []string {
 		}
 	}
 	return out
+}
+
+// SplitFloats tokenizes a comma-separated float list with the same
+// tolerance SplitWorkloads gives names: whitespace-trimmed, empty tokens
+// dropped, and a non-empty input yielding nothing at all is an error. A
+// malformed number names the offending token.
+func SplitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not a number (in float list %q)", tok, s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%q contains no numbers (expected comma-separated floats, e.g. %q)", s, "1.2,1.5,2.0")
+	}
+	return out, nil
+}
+
+// SplitInts tokenizes a comma-separated integer list; same tolerance and
+// error conventions as SplitFloats.
+func SplitInts(s string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok == "" {
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer (in int list %q)", tok, s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%q contains no integers (expected comma-separated ints, e.g. %q)", s, "4,8,16")
+	}
+	return out, nil
 }
 
 // RenderReports writes experiment reports in the CLI's output format. The

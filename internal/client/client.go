@@ -76,6 +76,11 @@ type Config struct {
 	// PollInterval paces Wait's status polling when the server sends no
 	// Retry-After hint (default 250ms).
 	PollInterval time.Duration
+	// RetryAfterMax caps how long a server Retry-After hint is honored
+	// (default 30s; negative disables the cap). A server quoting an hour
+	// — by bug or hostility — must not stall a command past its own
+	// deadline on one hint.
+	RetryAfterMax time.Duration
 	// Seed selects the deterministic jitter pattern for backoff and
 	// breaker probes, exactly like the fault layer's seeds: the same
 	// seed reproduces the same schedule, different seeds desynchronize.
@@ -105,6 +110,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PollInterval <= 0 {
 		c.PollInterval = 250 * time.Millisecond
+	}
+	if c.RetryAfterMax == 0 {
+		c.RetryAfterMax = 30 * time.Second
+	}
+	if c.RetryAfterMax < 0 {
+		c.RetryAfterMax = 0 // 0 after defaulting = uncapped
 	}
 	if c.Log == nil {
 		c.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
@@ -301,16 +312,43 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, hedge
 	}
 }
 
+// parseRetryAfter decodes a Retry-After header value in either form RFC
+// 9110 allows: delay-seconds ("7") or an HTTP-date ("Fri, 08 Aug 2026
+// 10:00:00 GMT", evaluated against now and clamped at zero for dates
+// already past). ok is false for absent or malformed values.
+func parseRetryAfter(v string, now time.Time) (d time.Duration, ok bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := at.Sub(now); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
 // backoff computes the wait before retry `attempt`: a server Retry-After
-// hint verbatim when present, else base·2^attempt (capped at 64x) plus
-// up to +50% deterministic jitter.
+// hint when present — either RFC form, capped at RetryAfterMax so a
+// bogus hint cannot stall a command past its deadline — else
+// base·2^attempt (capped at 64x) plus up to +50% deterministic jitter.
 func (c *Client) backoff(attempt int, hdr http.Header) time.Duration {
 	if hdr != nil {
-		if ra := hdr.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-				c.reg.AddUint("client/retry_after_honored", 1)
-				return time.Duration(secs) * time.Second
+		if d, ok := parseRetryAfter(hdr.Get("Retry-After"), time.Now()); ok {
+			c.reg.AddUint("client/retry_after_honored", 1)
+			if c.cfg.RetryAfterMax > 0 && d > c.cfg.RetryAfterMax {
+				c.reg.AddUint("client/retry_after_capped", 1)
+				d = c.cfg.RetryAfterMax
 			}
+			return d
 		}
 	}
 	shift := attempt
@@ -531,6 +569,150 @@ func (c *Client) WaitResult(ctx context.Context, id string) (string, error) {
 			return "", fmt.Errorf("client: job %s: %w: %s", id, ErrJobCanceled, j.Error)
 		}
 	}
+}
+
+// SweepChild is one grid point's status row inside a sweep.
+type SweepChild struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Experiment string `json:"experiment"`
+	Workloads  string `json:"workloads,omitempty"`
+	Cached     bool   `json:"cached,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Sweep is the client-side view of a batch sweep (the server's sweep
+// JSON): the aggregate state, a per-state census, and the ordered
+// children.
+type Sweep struct {
+	ID        string         `json:"id"`
+	State     string         `json:"state"`
+	Total     int            `json:"total"`
+	Counts    map[string]int `json:"counts"`
+	Created   string         `json:"created,omitempty"`
+	Recovered int            `json:"recovered,omitempty"`
+	Children  []SweepChild   `json:"children"`
+}
+
+// Terminal reports whether every child has reached a final state.
+func (s Sweep) Terminal() bool {
+	return s.State == server.StateDone || s.State == server.StateFailed || s.State == server.StateCanceled
+}
+
+// SubmitSweep posts a parameter grid as one batch. Like Submit, it is
+// safe under retries and ambiguous failures: the sweep id is the hash of
+// the expanded grid, so a duplicated POST deduplicates server-side onto
+// the same sweep (and through it onto every cached child result).
+func (c *Client) SubmitSweep(ctx context.Context, spec server.SweepSpec) (Sweep, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return Sweep{}, fmt.Errorf("client: encoding sweep spec: %w", err)
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/sweeps", payload, false)
+	if err != nil {
+		return Sweep{}, err
+	}
+	if err := resp.asError(); err != nil {
+		return Sweep{}, err
+	}
+	return decodeSweep(resp.body)
+}
+
+// SweepStatus fetches a sweep's aggregate status.
+func (c *Client) SweepStatus(ctx context.Context, id string) (Sweep, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+url.PathEscape(id), nil, true)
+	if err != nil {
+		return Sweep{}, err
+	}
+	if err := resp.asError(); err != nil {
+		return Sweep{}, err
+	}
+	return decodeSweep(resp.body)
+}
+
+// SweepWait polls the sweep until every child reaches a terminal state
+// or ctx expires. One aggregate poll covers the whole grid — the server
+// folds all child states into a single answer with a position-aware
+// Retry-After — and each poll rides the usual retry/breaker/hedging
+// machinery. Transient polling failures do not abort the wait.
+func (c *Client) SweepWait(ctx context.Context, id string) (Sweep, error) {
+	var lastErr error
+	for {
+		sw, err := c.SweepStatus(ctx, id)
+		if err == nil {
+			if sw.Terminal() {
+				return sw, nil
+			}
+			lastErr = nil
+		} else {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) {
+				return Sweep{}, err // the server answered: unknown sweep etc.
+			}
+			lastErr = err
+		}
+		if serr := c.sleep(ctx, c.cfg.PollInterval); serr != nil {
+			if lastErr != nil {
+				return Sweep{}, fmt.Errorf("client: sweep wait %s: %w (last poll failure: %v)", id, serr, lastErr)
+			}
+			return Sweep{}, fmt.Errorf("client: sweep wait %s: %w", id, serr)
+		}
+	}
+}
+
+// SweepResult fetches a completed sweep's combined report: every child's
+// rendered bytes concatenated in grid order, byte-identical to running
+// the equivalent charonsim CLI invocations locally. Returns ErrNotDone
+// while any child is still pending.
+func (c *Client) SweepResult(ctx context.Context, id string) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+url.PathEscape(id)+"/result", nil, true)
+	if err != nil {
+		return "", err
+	}
+	if resp.status == http.StatusAccepted {
+		return "", ErrNotDone
+	}
+	if err := resp.asError(); err != nil {
+		return "", err
+	}
+	return string(resp.body), nil
+}
+
+// SweepWaitResult waits for the sweep to finish and returns its combined
+// report. A failed or canceled sweep maps onto ErrJobFailed/ErrJobCanceled,
+// so charonctl's exit contract treats sweeps and jobs uniformly.
+func (c *Client) SweepWaitResult(ctx context.Context, id string) (string, error) {
+	for {
+		sw, err := c.SweepWait(ctx, id)
+		if err != nil {
+			return "", err
+		}
+		switch sw.State {
+		case server.StateDone:
+			text, err := c.SweepResult(ctx, id)
+			if err == ErrNotDone {
+				continue // raced a state change; re-observe
+			}
+			return text, err
+		case server.StateFailed:
+			return "", fmt.Errorf("client: sweep %s: %w: %d of %d children failed",
+				id, ErrJobFailed, sw.Counts[server.StateFailed], sw.Total)
+		default: // canceled
+			return "", fmt.Errorf("client: sweep %s: %w: %d of %d children canceled",
+				id, ErrJobCanceled, sw.Counts[server.StateCanceled], sw.Total)
+		}
+	}
+}
+
+func decodeSweep(data []byte) (Sweep, error) {
+	var sw Sweep
+	if err := json.Unmarshal(data, &sw); err != nil {
+		return Sweep{}, fmt.Errorf("client: decoding sweep: %w (in %q)", err, data)
+	}
+	if sw.ID == "" {
+		return Sweep{}, fmt.Errorf("client: sweep response missing id (in %q)", data)
+	}
+	return sw, nil
 }
 
 // Cancel requests cancellation and returns the job's resulting view.

@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"charonsim/internal/cli"
 	"charonsim/internal/fault/netfault"
 	"charonsim/internal/server"
 )
@@ -45,6 +46,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		brkCool   = fs.Duration("breaker-cooldown", time.Second, "open-breaker cooldown before a half-open probe (plus seeded jitter)")
 		seed      = fs.Int64("seed", 0, "seed for the deterministic backoff/probe jitter streams")
 		poll      = fs.Duration("poll", 250*time.Millisecond, "status poll interval while waiting (server Retry-After hints override it)")
+		raMax     = fs.Duration("retry-after-max", 30*time.Second, "cap on honored server Retry-After hints, either RFC form (0 = no cap)")
 		noKeep    = fs.Bool("no-keepalive", false, "open a fresh connection per request; with a netfault proxy in the path every request then redraws the per-connection fault plan")
 		metricsTo = fs.String("client-metrics", "", "after the command, write the client-side counter snapshot (retries, hedges, breaker transitions) as JSON to this path (\"-\" = stderr)")
 	)
@@ -53,6 +55,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 
 Commands:
   submit   submit a job (flags mirror the job spec); -wait blocks for the report
+  sweep    submit a parameter grid as one batch; -wait blocks for the combined report
   wait     wait for a job id to reach a terminal state
   result   fetch a finished job's rendered report (CLI byte-identical)
   cancel   cancel a job
@@ -89,6 +92,10 @@ Flags:
 	if retryBudget == 0 {
 		retryBudget = -1
 	}
+	retryAfterMax := *raMax
+	if retryAfterMax == 0 {
+		retryAfterMax = -1 // Config: 0 means default, negative disables
+	}
 	var hc *http.Client
 	if *noKeep {
 		hc = &http.Client{
@@ -105,6 +112,7 @@ Flags:
 		BreakerThreshold: brkThreshold,
 		BreakerCooldown:  *brkCool,
 		PollInterval:     *poll,
+		RetryAfterMax:    retryAfterMax,
 		Seed:             *seed,
 	})
 	if err != nil {
@@ -136,6 +144,8 @@ func runCommand(ctx context.Context, c *Client, cmd string, args []string, stdou
 	switch cmd {
 	case "submit":
 		return cmdSubmit(ctx, c, args, stdout, stderr)
+	case "sweep":
+		return cmdSweep(ctx, c, args, stdout, stderr)
 	case "wait":
 		return cmdWait(ctx, c, args, stdout, stderr)
 	case "result":
@@ -145,7 +155,7 @@ func runCommand(ctx context.Context, c *Client, cmd string, args []string, stdou
 	case "metrics":
 		return cmdMetrics(ctx, c, args, stdout, stderr)
 	default:
-		fmt.Fprintf(stderr, "charonctl: unknown command %q (have submit, wait, result, cancel, metrics, proxy)\n", cmd)
+		fmt.Fprintf(stderr, "charonctl: unknown command %q (have submit, sweep, wait, result, cancel, metrics, proxy)\n", cmd)
 		return 2
 	}
 }
@@ -199,6 +209,76 @@ func cmdSubmit(ctx context.Context, c *Client, args []string, stdout, stderr io.
 	text, err := c.WaitResult(ctx, j.ID)
 	if err != nil {
 		fmt.Fprintln(stderr, "charonctl submit:", err)
+		return jobExitCode(err)
+	}
+	io.WriteString(stdout, text)
+	return 0
+}
+
+func cmdSweep(ctx context.Context, c *Client, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("charonctl sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		experiments = fs.String("experiments", "", "comma-separated experiment ids, or \"all\" (required); one grid axis")
+		workloads   = fs.String("workloads", "", "comma-separated workload codes fanned one child per code (empty = each child runs the experiment's default workload set)")
+		heapFactors = fs.String("heap-factors", "", "comma-separated heap factors fanned one child per value (empty = server default)")
+		threadList  = fs.String("threads", "", "comma-separated GC thread counts fanned one child per value (empty = server default)")
+		parallelism = fs.Int("parallelism", 0, "per-job simulation parallelism, shared by every child (0 = server default)")
+		faultRate   = fs.Float64("fault-rate", 0, "simulated-hardware fault rate, shared by every child")
+		faultSeed   = fs.Int64("fault-seed", 0, "simulated-hardware fault seed, shared by every child")
+		runTimeout  = fs.Duration("run-timeout", 0, "per-unit run timeout, shared by every child (0 = server default)")
+		wait        = fs.Bool("wait", false, "block until every child finishes and print the combined report to stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *experiments == "" {
+		fmt.Fprintln(stderr, "charonctl sweep: -experiments is required")
+		return 2
+	}
+	spec := server.SweepSpec{
+		Experiments: cli.CleanWorkloads(strings.Split(*experiments, ",")),
+		Parallelism: *parallelism,
+		FaultRate:   *faultRate, FaultSeed: *faultSeed,
+	}
+	if *workloads != "" {
+		spec.Workloads = strings.Split(*workloads, ",")
+	}
+	if *heapFactors != "" {
+		factors, err := cli.SplitFloats(*heapFactors)
+		if err != nil {
+			fmt.Fprintln(stderr, "charonctl sweep: -heap-factors:", err)
+			return 2
+		}
+		spec.HeapFactors = factors
+	}
+	if *threadList != "" {
+		threads, err := cli.SplitInts(*threadList)
+		if err != nil {
+			fmt.Fprintln(stderr, "charonctl sweep: -threads:", err)
+			return 2
+		}
+		spec.Threads = threads
+	}
+	if *runTimeout > 0 {
+		spec.RunTimeout = runTimeout.String()
+	}
+
+	sw, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "charonctl sweep:", err)
+		return 1
+	}
+	if !*wait {
+		printSweep(stdout, sw)
+		return 0
+	}
+	text, err := c.SweepWaitResult(ctx, sw.ID)
+	if err != nil {
+		fmt.Fprintln(stderr, "charonctl sweep:", err)
 		return jobExitCode(err)
 	}
 	io.WriteString(stdout, text)
@@ -289,6 +369,12 @@ func printJob(w io.Writer, j Job) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(j)
+}
+
+func printSweep(w io.Writer, sw Sweep) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(sw)
 }
 
 func writeClientMetrics(c *Client, path string, stderr io.Writer) error {

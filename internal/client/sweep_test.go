@@ -1,0 +1,136 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"charonsim/internal/server"
+)
+
+// TestSweepEndToEndAgainstRealServer drives the typed sweep calls
+// against a real in-process charond: submit a grid, wait, fetch the
+// combined report, and confirm a duplicate submission lands on the same
+// sweep.
+func TestSweepEndToEndAgainstRealServer(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	c := newTestClient(t, hs.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+
+	spec := server.SweepSpec{Experiments: []string{"table3", "table4"}}
+	sw, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Total != 2 || len(sw.Children) != 2 {
+		t.Fatalf("sweep total = %d children = %d, want 2", sw.Total, len(sw.Children))
+	}
+	text, err := c.SweepWaitResult(ctx, sw.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text == "" {
+		t.Fatal("empty combined report")
+	}
+	// The combined bytes are the children's reports in grid order.
+	first, err := c.Result(ctx, sw.Children[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(text, first) {
+		t.Fatal("combined report does not start with the first child's bytes")
+	}
+
+	dup, err := c.SubmitSweep(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dup.ID != sw.ID {
+		t.Fatalf("duplicate submission created sweep %q, want %q", dup.ID, sw.ID)
+	}
+}
+
+// TestCtlSweep covers the charonctl sweep subcommand: grid flags, the
+// JSON view without -wait, and verbatim combined-report bytes with it.
+func TestCtlSweep(t *testing.T) {
+	const combined = "== a ==\nr1\n== b ==\nr2\n"
+	var gotSpec server.SweepSpec
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/sweeps":
+			_ = json.NewDecoder(r.Body).Decode(&gotSpec)
+			writeJSONStatus(w, 202, map[string]any{"id": "s1", "state": "queued", "total": 4})
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/sweeps/s1":
+			writeJSONStatus(w, 200, map[string]any{"id": "s1", "state": "done", "total": 4,
+				"counts": map[string]int{"done": 4}})
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/sweeps/s1/result":
+			fmt.Fprint(w, combined)
+		default:
+			writeJSONStatus(w, 404, map[string]any{"error": "unknown route"})
+		}
+	}))
+	defer hs.Close()
+
+	code, out, errOut := runCtl(t, "-server", hs.URL, "sweep",
+		"-experiments", "fig12,fig13", "-workloads", "BS,KM",
+		"-heap-factors", "1.2,1.5", "-threads", "4,8", "-wait")
+	if code != 0 || out != combined {
+		t.Fatalf("sweep -wait: code=%d out=%q err=%q", code, out, errOut)
+	}
+	if len(gotSpec.Experiments) != 2 || len(gotSpec.Workloads) != 2 ||
+		len(gotSpec.HeapFactors) != 2 || len(gotSpec.Threads) != 2 {
+		t.Fatalf("decoded spec = %+v, want 2 entries per axis", gotSpec)
+	}
+
+	code, out, _ = runCtl(t, "-server", hs.URL, "sweep", "-experiments", "fig12")
+	var sw Sweep
+	if code != 0 || json.Unmarshal([]byte(out), &sw) != nil || sw.ID != "s1" {
+		t.Fatalf("sweep without -wait: code=%d out=%q", code, out)
+	}
+
+	// Usage errors exit 2.
+	if code, _, _ := runCtl(t, "-server", hs.URL, "sweep"); code != 2 {
+		t.Fatalf("sweep without -experiments exited %d, want 2", code)
+	}
+	if code, _, _ := runCtl(t, "-server", hs.URL, "sweep", "-experiments", "fig12", "-heap-factors", "x"); code != 2 {
+		t.Fatalf("sweep with bad -heap-factors exited %d, want 2", code)
+	}
+}
+
+// TestCtlSweepFailureExitsThree: a sweep whose children failed is exit 3
+// under the same contract as failed jobs.
+func TestCtlSweepFailureExitsThree(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/sweeps":
+			writeJSONStatus(w, 202, map[string]any{"id": "s1", "state": "queued", "total": 2})
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/sweeps/s1":
+			writeJSONStatus(w, 200, map[string]any{"id": "s1", "state": "failed", "total": 2,
+				"counts": map[string]int{"failed": 1, "done": 1}})
+		default:
+			writeJSONStatus(w, 404, map[string]any{"error": "unknown route"})
+		}
+	}))
+	defer hs.Close()
+
+	code, _, errOut := runCtl(t, "-server", hs.URL, "sweep", "-experiments", "fig12,fig13", "-wait")
+	if code != 3 {
+		t.Fatalf("failed sweep exited %d (stderr %q), want 3", code, errOut)
+	}
+	if !strings.Contains(errOut, "1 of 2 children failed") {
+		t.Fatalf("stderr %q does not report the failed-child count", errOut)
+	}
+}

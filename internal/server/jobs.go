@@ -144,6 +144,7 @@ type job struct {
 	mu       sync.Mutex
 	state    string
 	cached   bool // result served from the response cache, not computed
+	fetched  bool // terminal answer delivered to at least one result fetch
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -221,4 +222,18 @@ func (j *job) snapshot() (state, text, errMsg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state, j.text, j.errMsg
+}
+
+// markFetched records that the job's terminal answer reached a caller;
+// eviction prefers fetched jobs, so unread results survive retention
+// pressure longer.
+func (j *job) markFetched() {
+	j.mu.Lock()
+	j.fetched = true
+	j.mu.Unlock()
+}
+
+// terminalState reports whether state is a final one.
+func terminalState(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
 }

@@ -25,6 +25,7 @@ const journalSchema = 1
 // complete record or the new one, never a blend.
 type journalRecord struct {
 	Schema    int             `json:"schema"`
+	Kind      string          `json:"kind,omitempty"` // "" = job (see sweepRecord for "sweep")
 	ID        string          `json:"id"`
 	Key       string          `json:"key"`
 	Spec      JobSpec         `json:"spec"`
@@ -121,17 +122,45 @@ func (jl *journal) record(j *job) {
 }
 
 // replay loads every journal record, splitting it into unfinished work to
-// resubmit and terminal keys to garbage-collect. Records from a different
-// schema, or whose spec no longer resolves (the job grammar moved under
-// them), are treated as terminal: logged and collected, never replayed
-// wrong.
-func (jl *journal) replay(log *slog.Logger) (pending []journalRecord, terminalKeys []string, err error) {
+// resubmit — jobs and sweep manifests, by the record's kind tag — and
+// terminal keys to garbage-collect. Records from a different schema, or
+// whose spec no longer resolves (the job grammar moved under them), are
+// treated as terminal: logged and collected, never replayed wrong.
+func (jl *journal) replay(log *slog.Logger) (pending []journalRecord, sweeps []sweepRecord, terminalKeys []string, err error) {
 	if jl == nil {
-		return nil, nil, nil
+		return nil, nil, nil, nil
 	}
 	err = jl.st.Range(func(key string, payload json.RawMessage) bool {
+		var head struct {
+			Schema int    `json:"schema"`
+			Kind   string `json:"kind"`
+		}
+		if json.Unmarshal(payload, &head) != nil || head.Schema != journalSchema {
+			log.Warn("journal: discarding unreadable record", "key", key)
+			terminalKeys = append(terminalKeys, key)
+			return true
+		}
+		if head.Kind == journalKindSweep {
+			var rec sweepRecord
+			if json.Unmarshal(payload, &rec) != nil || rec.Key != key {
+				log.Warn("journal: discarding unreadable sweep manifest", "key", key)
+				terminalKeys = append(terminalKeys, key)
+				return true
+			}
+			if rec.State != SweepStateActive {
+				terminalKeys = append(terminalKeys, key)
+				return true
+			}
+			if _, _, rerr := rec.Spec.Expand(); rerr != nil {
+				log.Warn("journal: dropping unresolvable sweep", "sweep", rec.ID, "err", rerr)
+				terminalKeys = append(terminalKeys, key)
+				return true
+			}
+			sweeps = append(sweeps, rec)
+			return true
+		}
 		var rec journalRecord
-		if json.Unmarshal(payload, &rec) != nil || rec.Schema != journalSchema || rec.Key != key {
+		if json.Unmarshal(payload, &rec) != nil || rec.Key != key {
 			log.Warn("journal: discarding unreadable record", "key", key)
 			terminalKeys = append(terminalKeys, key)
 			return true
@@ -148,7 +177,33 @@ func (jl *journal) replay(log *slog.Logger) (pending []journalRecord, terminalKe
 		pending = append(pending, rec)
 		return true
 	})
-	return pending, terminalKeys, err
+	return pending, sweeps, terminalKeys, err
+}
+
+// recordSweep durably persists a sweep manifest snapshot, with the same
+// monotonic-seq staleness guard record uses for jobs. The manifest is
+// membership, not progress: child jobs journal their own transitions, so
+// a sweep rewrite only happens at admission, recovery, and completion.
+func (jl *journal) recordSweep(rec sweepRecord, seq uint64) {
+	if jl == nil {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		jl.health.observe(fmt.Errorf("journal: encode sweep %s: %w", rec.ID, err))
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	if last, ok := jl.seq[rec.ID]; ok && seq <= last {
+		return // a newer transition already landed
+	}
+	if err := jl.st.Put(rec.Key, payload); err != nil {
+		jl.health.observe(err)
+		return
+	}
+	jl.seq[rec.ID] = seq
+	jl.health.observe(nil)
 }
 
 // gc deletes terminal records. Best-effort: a record that refuses to die

@@ -153,11 +153,94 @@ type Server struct {
 
 	mu            sync.Mutex
 	jobs          map[string]*job
-	queue         chan *job
+	sweeps        map[string]*sweep
+	queue         *jobQueue
 	draining      bool
 	drainDeadline time.Time // Drain's ctx deadline; sizes the draining 503's Retry-After
-	queueClosed   bool
-	wg          sync.WaitGroup // worker goroutines
+	wg            sync.WaitGroup // worker goroutines
+}
+
+// jobQueue is the admission queue: an unbounded FIFO the workers pop
+// from. The client-facing QueueDepth bound is enforced by explicit len
+// checks at admission (submit's 429, the shed estimator), not by the
+// queue's capacity — journal recovery and sweep expansion must always be
+// able to enqueue work they have already promised a caller, even when
+// that transiently exceeds the depth new submissions are held to.
+//
+// Keeping the queued jobs in an indexable slice is also what makes wait
+// estimates position-aware: position() reports how many jobs sit ahead
+// of a given id, so an early job is never quoted the whole queue's wait.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*job
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends j. Pushing after close is a no-op (the job stays tracked
+// and is settled by Drain's cancellation sweep).
+func (q *jobQueue) push(j *job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available or the queue is closed and empty;
+// ok is false only in the latter case.
+func (q *jobQueue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	j = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return j, true
+}
+
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// position returns how many jobs sit ahead of id in the queue, or -1
+// when id is not queued (about to be popped, running, or terminal).
+func (q *jobQueue) position(id string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.id == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// close wakes every blocked worker; subsequent pops drain the remaining
+// items and then report closed.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.cond.Broadcast()
 }
 
 // New builds a server, replays the job journal (when a cache directory is
@@ -169,10 +252,11 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		log:  cfg.Log,
-		reg:  metrics.NewRegistry(),
-		jobs: map[string]*job{},
+		cfg:    cfg,
+		log:    cfg.Log,
+		reg:    metrics.NewRegistry(),
+		jobs:   map[string]*job{},
+		sweeps: map[string]*sweep{},
 	}
 	s.cacheHealth = &degrader{name: "result_cache", log: cfg.Log, reg: s.reg}
 	s.journalHealth = &degrader{name: "journal", log: cfg.Log, reg: s.reg}
@@ -192,20 +276,21 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
-	recovered, gcKeys := s.replayJournal()
-	// The queue is sized so every recovered job fits ahead of the
-	// client-facing admission bound: submissions are rejected once
-	// QueueDepth jobs wait, but crash-recovered work must never be
-	// dropped for lack of a slot.
-	s.queue = make(chan *job, cfg.QueueDepth+len(recovered))
+	recovered, pendingSweeps, gcKeys := s.replayJournal()
+	// The queue is unbounded internally: every recovered job enqueues
+	// ahead of the client-facing admission bound — submissions are
+	// rejected once QueueDepth jobs wait, but crash-recovered work must
+	// never be dropped for lack of a slot.
+	s.queue = newJobQueue()
 	for _, j := range recovered {
 		s.jobs[j.id] = j
-		s.queue <- j
+		s.queue.push(j)
 		s.journal.record(j)
 		s.reg.AddUint("server/journal_recovered", 1)
 		s.log.Info("journal: recovered job", "job", j.id,
 			"experiment", j.spec.Experiment, "generation", j.recovered)
 	}
+	gcKeys = append(gcKeys, s.recoverSweeps(pendingSweeps)...)
 	if n := s.journal.gc(gcKeys); n > 0 {
 		s.reg.AddUint("server/journal_gc", uint64(n))
 		s.log.Info("journal: collected terminal records", "n", n)
@@ -223,11 +308,11 @@ func New(cfg Config) (*Server, error) {
 // cache (crash between persist and the journal's terminal transition) are
 // completed in place rather than re-run. Returns the jobs to requeue and
 // the record keys to garbage-collect.
-func (s *Server) replayJournal() (recovered []*job, gcKeys []string) {
-	pending, terminal, err := s.journal.replay(s.log)
+func (s *Server) replayJournal() (recovered []*job, pendingSweeps []sweepRecord, gcKeys []string) {
+	pending, sweeps, terminal, err := s.journal.replay(s.log)
 	if err != nil {
 		s.log.Warn("journal: replay scan failed; continuing without recovery", "err", err)
-		return nil, nil
+		return nil, nil, nil
 	}
 	gcKeys = terminal
 	for _, rec := range pending {
@@ -258,7 +343,7 @@ func (s *Server) replayJournal() (recovered []*job, gcKeys []string) {
 		}
 		recovered = append(recovered, j)
 	}
-	return recovered, gcKeys
+	return recovered, sweeps, gcKeys
 }
 
 // Metrics exposes the server's registry (tests and the /v1/metrics
@@ -273,6 +358,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleSweepResult)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -461,18 +550,17 @@ func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string, deadline
 	// Latency-aware shedding: refuse work we could queue but not serve
 	// within the configured wait bound. Softer and earlier than the hard
 	// depth limit below, with an honest Retry-After.
-	if wait := s.estimatedWaitLocked(); s.cfg.ShedLatency > 0 && wait > s.cfg.ShedLatency {
+	if wait := s.estimatedWait(s.queue.len()); s.cfg.ShedLatency > 0 && wait > s.cfg.ShedLatency {
 		s.reg.AddUint("server/shed_rejected", 1)
 		return nil, http.StatusServiceUnavailable, retryAfterSeconds(wait),
 			fmt.Errorf("estimated queue wait %s exceeds the %s shed bound; retry later",
 				wait.Round(time.Millisecond), s.cfg.ShedLatency)
 	}
 
-	// Hard depth bound. The channel itself may be larger (journal
-	// recovery pre-seeds it), so the client-facing limit is an explicit
-	// length check; all sends happen under s.mu, so the send below cannot
-	// block.
-	if len(s.queue) >= s.cfg.QueueDepth {
+	// Hard depth bound. The internal queue is unbounded (journal recovery
+	// and sweep expansion pre-seed it past the depth), so the
+	// client-facing limit is an explicit length check.
+	if s.queue.len() >= s.cfg.QueueDepth {
 		s.reg.AddUint("server/queue_rejected", 1)
 		return nil, http.StatusTooManyRequests, 1,
 			fmt.Errorf("admission queue full (%d queued); retry later", s.cfg.QueueDepth)
@@ -483,21 +571,21 @@ func (s *Server) submit(spec JobSpec, cfg charonsim.Config, key string, deadline
 	// record to replay.
 	s.insertLocked(j)
 	s.journal.record(j)
-	s.queue <- j
-	s.reg.SetMax("server/queue_high_water", float64(len(s.queue)))
+	s.queue.push(j)
+	s.reg.SetMax("server/queue_high_water", float64(s.queue.len()))
 	return j, http.StatusAccepted, 0, nil
 }
 
-// estimatedWaitLocked predicts how long a new submission would sit in the
-// queue: jobs ahead of it times the observed mean job duration, spread
-// over the worker pool. Zero until the first job completes — the server
-// sheds on evidence, not guesses. Callers hold s.mu.
-func (s *Server) estimatedWaitLocked() time.Duration {
+// estimatedWait predicts how long a job with `ahead` queued jobs in
+// front of it waits for a worker: ahead times the observed mean job
+// duration, spread over the worker pool. Zero until the first job
+// completes — the server sheds on evidence, not guesses.
+func (s *Server) estimatedWait(ahead int) time.Duration {
 	avg := s.avgRunNanos.Load()
-	if avg <= 0 {
+	if avg <= 0 || ahead <= 0 {
 		return 0
 	}
-	return time.Duration(int64(len(s.queue)) * avg / int64(s.cfg.Workers))
+	return time.Duration(int64(ahead) * avg / int64(s.cfg.Workers))
 }
 
 // retryAfterSeconds renders a wait estimate as a Retry-After value
@@ -517,43 +605,64 @@ func (s *Server) drainRetryAfterLocked() int {
 			return retryAfterSeconds(rem)
 		}
 	}
-	return retryAfterSeconds(s.estimatedWaitLocked())
+	return retryAfterSeconds(s.estimatedWait(s.queue.len()))
 }
 
-// pollRetryAfter hints when a result poller should come back: a queued
-// job's hint is its estimated queue wait (a worker has to reach it
-// first), a running job polls at the 1-second floor.
-func (s *Server) pollRetryAfter(state string) int {
-	if state != StateQueued {
+// pollRetryAfter hints when a result poller should come back. A queued
+// job's hint is position-aware: only the jobs actually ahead of it (plus
+// its own expected run) feed the estimate, so a job at the head of a
+// deep queue is never told to back off behind the whole queue. A running
+// job polls at the 1-second floor.
+func (s *Server) pollRetryAfter(j *job) int {
+	j.mu.Lock()
+	queued := j.state == StateQueued
+	j.mu.Unlock()
+	if !queued {
 		return 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return retryAfterSeconds(s.estimatedWaitLocked())
+	ahead := s.queue.position(j.id)
+	if ahead < 0 {
+		// Popped but not yet transitioned: it is next.
+		ahead = 0
+	}
+	return retryAfterSeconds(s.estimatedWait(ahead + 1))
 }
 
-// insertLocked adds j to the job table and evicts the oldest terminal
-// jobs past the retention bound. Callers hold s.mu.
+// insertLocked adds j to the job table and evicts terminal jobs past the
+// retention bound. Eviction prefers terminal jobs whose result has
+// already been fetched (oldest first) and only then falls back to
+// unfetched terminal jobs — a done job nobody has read yet still owes
+// its submitter an answer, so it must never be displaced by older jobs
+// that already delivered theirs. Callers hold s.mu.
 func (s *Server) insertLocked(j *job) {
 	s.jobs[j.id] = j
 	for len(s.jobs) > s.cfg.MaxJobs {
-		var oldest *job
+		var oldestFetched, oldestUnfetched *job
 		for _, cand := range s.jobs {
 			cand.mu.Lock()
 			terminal := cand.state == StateDone || cand.state == StateFailed || cand.state == StateCanceled
+			fetched := cand.fetched
 			created := cand.created
 			cand.mu.Unlock()
 			if !terminal {
 				continue
 			}
-			if oldest == nil || created.Before(oldest.created) {
-				oldest = cand
+			if fetched {
+				if oldestFetched == nil || created.Before(oldestFetched.created) {
+					oldestFetched = cand
+				}
+			} else if oldestUnfetched == nil || created.Before(oldestUnfetched.created) {
+				oldestUnfetched = cand
 			}
 		}
-		if oldest == nil {
+		victim := oldestFetched
+		if victim == nil {
+			victim = oldestUnfetched
+		}
+		if victim == nil {
 			return // everything is live; let the table grow
 		}
-		delete(s.jobs, oldest.id)
+		delete(s.jobs, victim.id)
 	}
 }
 
@@ -648,14 +757,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	state, text, errMsg := j.snapshot()
 	switch state {
 	case StateDone:
+		j.markFetched()
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, text)
 	case StateFailed:
+		j.markFetched()
 		writeError(w, http.StatusInternalServerError, "job failed: %s", errMsg)
 	case StateCanceled:
+		j.markFetched()
 		writeError(w, http.StatusGone, "job was canceled: %s", errMsg)
 	default: // queued, running
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.pollRetryAfter(state)))
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.pollRetryAfter(j)))
 		writeJSON(w, http.StatusAccepted, j.view())
 	}
 }
@@ -690,6 +802,7 @@ func (s *Server) cancelJob(j *job, reason string) bool {
 		j.mu.Unlock()
 		s.journal.record(j)
 		s.reg.AddUint("server/jobs_canceled", 1)
+		s.noteChildTerminal(j)
 		return true
 	case StateRunning:
 		j.canceled = true
@@ -735,8 +848,9 @@ func (s *Server) snapshotMetrics() metrics.Snapshot {
 	reg.Merge(s.reg)
 	s.mu.Lock()
 	reg.AddUint("server/jobs_tracked", uint64(len(s.jobs)))
-	reg.AddUint("server/queue_len", uint64(len(s.queue)))
+	reg.AddUint("server/sweeps_tracked", uint64(len(s.sweeps)))
 	s.mu.Unlock()
+	reg.AddUint("server/queue_len", uint64(s.queue.len()))
 	reg.SetMax("server/cache_degraded", bool01(s.cacheHealth.isDegraded()))
 	reg.SetMax("server/journal_degraded", bool01(s.journalHealth.isDegraded()))
 	if avg := s.avgRunNanos.Load(); avg > 0 {
@@ -774,7 +888,11 @@ func bool01(b bool) float64 {
 // worker executes queued jobs until the queue is closed by Drain.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.runJob(j)
 	}
 }
@@ -800,6 +918,7 @@ func (s *Server) runJob(j *job) {
 		s.journal.record(j)
 		s.reg.AddUint("server/deadline_expired_queued", 1)
 		s.reg.AddUint("server/jobs_failed", 1)
+		s.noteChildTerminal(j)
 		return
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
@@ -889,6 +1008,7 @@ func (s *Server) runJob(j *job) {
 	j.mu.Unlock()
 	s.journal.record(j)
 	s.observeRunDuration(dur)
+	s.noteChildTerminal(j)
 
 	s.log.Info("job finish", "job", j.id, "state", state, "attempts", attempts,
 		"dur_s", dur.Seconds(), "err", errMsg)
@@ -1020,11 +1140,8 @@ func (s *Server) Drain(ctx context.Context) error {
 	if dl, ok := ctx.Deadline(); ok {
 		s.drainDeadline = dl
 	}
-	if !s.queueClosed {
-		close(s.queue)
-		s.queueClosed = true
-	}
 	s.mu.Unlock()
+	s.queue.close()
 
 	done := make(chan struct{})
 	go func() {

@@ -1,0 +1,689 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"charonsim"
+	"charonsim/internal/cli"
+)
+
+// sweepSchema versions the sweep grid grammar; it feeds the canonical
+// sweep key, so bumping it makes every old sweep id miss cleanly.
+const sweepSchema = 1
+
+// maxSweepChildren bounds one sweep's grid: a spec expanding past it is
+// rejected at admission rather than flooding the worker pool. The bound
+// comfortably covers the paper's full evaluation grid (6 workloads x a
+// handful of heap factors and thread counts).
+const maxSweepChildren = 256
+
+// journalKindSweep tags sweep-manifest records in the shared journal
+// store; untagged records are plain jobs.
+const journalKindSweep = "sweep"
+
+// SweepStateActive is the journal state of a sweep that still owes a
+// combined report; terminal manifests carry the aggregate job state
+// ("done"/"failed"/"canceled") instead and are garbage-collected at the
+// next boot.
+const SweepStateActive = "active"
+
+// SweepSpec is the wire format of a batch submission (POST /v1/sweeps):
+// a parameter grid over the paper's evaluation axes plus the shared
+// knobs every child inherits. The server expands it into one child job
+// descriptor per grid point — experiments x workloads x heap_factors x
+// threads, in that nesting order — and each child flows through the
+// exact same admission queue, single-flight dedup, result cache, and
+// journal as an individually POSTed job with the same descriptor.
+type SweepSpec struct {
+	// Experiments lists experiment ids (or "all"); required, outermost
+	// grid axis.
+	Experiments []string `json:"experiments"`
+	// Workloads fans one child per workload code. Empty runs each
+	// experiment over its default full workload set (a single grid point
+	// on this axis).
+	Workloads []string `json:"workloads,omitempty"`
+	// HeapFactors fans one child per heap overprovisioning factor.
+	// Empty means the server default (1.5).
+	HeapFactors []float64 `json:"heap_factors,omitempty"`
+	// Threads fans one child per GC thread count. Empty means the
+	// server default (8).
+	Threads []int `json:"threads,omitempty"`
+
+	// Shared knobs, copied verbatim into every child descriptor.
+	Parallelism    int     `json:"parallelism,omitempty"`
+	FaultRate      float64 `json:"fault_rate,omitempty"`
+	FaultSeed      int64   `json:"fault_seed,omitempty"`
+	OffloadDeadln  string  `json:"offload_deadline,omitempty"`
+	RunTimeout     string  `json:"run_timeout,omitempty"`
+	WatchdogStalls int     `json:"watchdog_stalls,omitempty"`
+	WatchdogQueue  int     `json:"watchdog_queue,omitempty"`
+}
+
+// sweepChild is one expanded grid point: the child's job descriptor plus
+// its resolved config and canonical identity.
+type sweepChild struct {
+	spec JobSpec
+	cfg  charonsim.Config
+	key  string
+	id   string
+}
+
+// Expand validates the sweep spec and returns its grid points in
+// deterministic order (experiments, then workloads, then heap factors,
+// then threads — outermost to innermost) plus the canonical sweep key.
+// Every child descriptor is fully resolved through the job grammar, so a
+// sweep child and an individually submitted job with the same knobs are
+// the same job: same key, same id, same cache entry. The key is the
+// ordered concatenation of the child keys — two sweeps are the same
+// sweep exactly when they expand to the same children in the same order.
+func (sp SweepSpec) Expand() ([]sweepChild, string, error) {
+	if len(sp.Experiments) == 0 {
+		return nil, "", fmt.Errorf("missing experiments list (each one of %v, or \"all\")", charonsim.Experiments())
+	}
+	workloads := cli.CleanWorkloads(sp.Workloads)
+	if len(sp.Workloads) > 0 && len(workloads) == 0 {
+		return nil, "", fmt.Errorf("workloads %v contains no workload names", sp.Workloads)
+	}
+	factors := sp.HeapFactors
+	if len(factors) == 0 {
+		factors = []float64{0} // server default (1.5) resolved by the job grammar
+	}
+	threads := sp.Threads
+	if len(threads) == 0 {
+		threads = []int{0} // server default (8)
+	}
+	points := len(sp.Experiments) * max(1, len(workloads)) * len(factors) * len(threads)
+	if points > maxSweepChildren {
+		return nil, "", fmt.Errorf("sweep expands to %d children, above the %d bound; split the grid", points, maxSweepChildren)
+	}
+
+	var children []sweepChild
+	seen := map[string]int{}
+	add := func(child JobSpec) error {
+		cfg, key, err := child.Resolve()
+		if err != nil {
+			return err
+		}
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("duplicate grid point: children %d and %d are the same job (%s)", prev, len(children), key)
+		}
+		seen[key] = len(children)
+		children = append(children, sweepChild{spec: child, cfg: cfg, key: key, id: jobID(key)})
+		return nil
+	}
+	for _, exp := range sp.Experiments {
+		wls := [][]string{nil}
+		if len(workloads) > 0 {
+			wls = wls[:0]
+			for _, w := range workloads {
+				wls = append(wls, []string{w})
+			}
+		}
+		for _, wl := range wls {
+			for _, f := range factors {
+				for _, t := range threads {
+					child := JobSpec{
+						Experiment: exp, Workloads: wl,
+						HeapFactor: f, Threads: t,
+						Parallelism:    sp.Parallelism,
+						FaultRate:      sp.FaultRate,
+						FaultSeed:      sp.FaultSeed,
+						OffloadDeadln:  sp.OffloadDeadln,
+						RunTimeout:     sp.RunTimeout,
+						WatchdogStalls: sp.WatchdogStalls,
+						WatchdogQueue:  sp.WatchdogQueue,
+					}
+					if err := add(child); err != nil {
+						return nil, "", err
+					}
+				}
+			}
+		}
+	}
+	keys := make([]string, len(children))
+	for i, c := range children {
+		keys[i] = c.key
+	}
+	key := fmt.Sprintf("sweep/v%d|%s", sweepSchema, strings.Join(keys, "||"))
+	return children, key, nil
+}
+
+// sweep is one tracked batch: an ordered set of child jobs sharing the
+// server's dedup/cache/journal machinery. The children are fixed at
+// admission (or recovery) — a later individual resubmission of a failed
+// child descriptor starts a fresh job but does not splice into an
+// existing sweep; resubmitting the sweep itself does (failed sweeps are
+// replaced whole, like failed jobs).
+type sweep struct {
+	id      string
+	key     string
+	spec    SweepSpec
+	created time.Time
+
+	children []*job          // grid order; immutable after construction
+	childIDs map[string]bool // membership index for noteChildTerminal
+
+	mu         sync.Mutex
+	recovered  int    // journal crash-replay generations
+	seq        uint64 // orders journal manifest writes
+	finalState string // terminal aggregate state once journaled ("" while active)
+}
+
+func (sw *sweep) contains(jobID string) bool { return sw.childIDs[jobID] }
+
+// sweepCounts is the per-state census of a sweep's children.
+type sweepCounts struct {
+	queued, running, done, failed, canceled int
+}
+
+func (c sweepCounts) total() int {
+	return c.queued + c.running + c.done + c.failed + c.canceled
+}
+
+// pending reports whether any child still owes a terminal state.
+func (c sweepCounts) pending() bool { return c.queued+c.running > 0 }
+
+// counts snapshots every child's state.
+func (sw *sweep) counts() sweepCounts {
+	var c sweepCounts
+	for _, j := range sw.children {
+		state, _, _ := j.snapshot()
+		switch state {
+		case StateQueued:
+			c.queued++
+		case StateRunning:
+			c.running++
+		case StateDone:
+			c.done++
+		case StateFailed:
+			c.failed++
+		case StateCanceled:
+			c.canceled++
+		}
+	}
+	return c
+}
+
+// aggregateState folds the census into one job-style state: queued until
+// any child makes progress, running while any child is non-terminal,
+// then failed > canceled > done by severity.
+func aggregateState(c sweepCounts) string {
+	switch {
+	case c.pending() && c.running == 0 && c.done+c.failed+c.canceled == 0:
+		return StateQueued
+	case c.pending():
+		return StateRunning
+	case c.failed > 0:
+		return StateFailed
+	case c.canceled > 0:
+		return StateCanceled
+	default:
+		return StateDone
+	}
+}
+
+// sweepRecord is the journaled sweep manifest: membership (the spec
+// re-expands to the same ordered children, hence the same child ids on
+// any process) plus lifecycle state. Child jobs journal their own
+// transitions; the manifest is written at admission, at recovery, and
+// once at terminal aggregation.
+type sweepRecord struct {
+	Schema    int       `json:"schema"`
+	Kind      string    `json:"kind"`
+	ID        string    `json:"id"`
+	Key       string    `json:"key"`
+	Spec      SweepSpec `json:"spec"`
+	State     string    `json:"state"`
+	Created   time.Time `json:"created"`
+	Updated   time.Time `json:"updated"`
+	ChildIDs  []string  `json:"child_ids"`
+	Recovered int       `json:"recovered,omitempty"`
+}
+
+// record snapshots the sweep as a journal manifest. Callers hold sw.mu.
+func (sw *sweep) recordLocked(state string) sweepRecord {
+	ids := make([]string, len(sw.children))
+	for i, j := range sw.children {
+		ids[i] = j.id
+	}
+	return sweepRecord{
+		Schema: journalSchema, Kind: journalKindSweep,
+		ID: sw.id, Key: sw.key, Spec: sw.spec, State: state,
+		Created: sw.created, Updated: time.Now(),
+		ChildIDs: ids, Recovered: sw.recovered,
+	}
+}
+
+// sweepChildView is one child's row in the sweep status document.
+type sweepChildView struct {
+	ID         string `json:"id"`
+	State      string `json:"state"`
+	Experiment string `json:"experiment"`
+	Workloads  string `json:"workloads,omitempty"`
+	Cached     bool   `json:"cached,omitempty"`
+	Error      string `json:"error,omitempty"`
+	Self       string `json:"self"`
+}
+
+// sweepView is the JSON representation of a sweep: the aggregate state,
+// a per-state census, and the ordered children.
+type sweepView struct {
+	ID        string           `json:"id"`
+	State     string           `json:"state"`
+	Total     int              `json:"total"`
+	Counts    map[string]int   `json:"counts"`
+	Created   string           `json:"created,omitempty"`
+	Recovered int              `json:"recovered,omitempty"`
+	Children  []sweepChildView `json:"children"`
+	Self      string           `json:"self"`
+	Result    string           `json:"result"`
+}
+
+func (sw *sweep) view() sweepView {
+	c := sw.counts()
+	sw.mu.Lock()
+	recovered := sw.recovered
+	sw.mu.Unlock()
+	v := sweepView{
+		ID: sw.id, State: aggregateState(c), Total: c.total(),
+		Counts: map[string]int{
+			StateQueued: c.queued, StateRunning: c.running,
+			StateDone: c.done, StateFailed: c.failed, StateCanceled: c.canceled,
+		},
+		Created:   sw.created.UTC().Format(time.RFC3339Nano),
+		Recovered: recovered,
+		Self:      "/v1/sweeps/" + sw.id,
+		Result:    "/v1/sweeps/" + sw.id + "/result",
+	}
+	for _, j := range sw.children {
+		jv := j.view()
+		v.Children = append(v.Children, sweepChildView{
+			ID: jv.ID, State: jv.State, Experiment: jv.Experiment,
+			Workloads: strings.Join(j.spec.Workloads, ","),
+			Cached:    jv.Cached, Error: jv.Error, Self: jv.Self,
+		})
+	}
+	return v
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"sweep spec exceeds the %d-byte limit", maxBodyBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "decoding sweep spec: %v", err)
+		return
+	}
+	children, key, err := spec.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid sweep spec: %v", err)
+		return
+	}
+	deadline, err := parseDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !deadline.IsZero() && !deadline.After(time.Now()) {
+		s.reg.AddUint("server/deadline_expired_rejects", 1)
+		writeError(w, http.StatusGatewayTimeout,
+			"deadline %s already expired at admission; not queueing doomed work",
+			deadline.UTC().Format(time.RFC3339Nano))
+		return
+	}
+	sw, status, retryAfter, err := s.submitSweep(spec, children, key, deadline)
+	if err != nil {
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+sw.id)
+	writeJSON(w, status, sw.view())
+}
+
+// submitSweep admits one sweep: single-flight dedup on the sweep key,
+// then per-child admission through the shared job machinery (each child
+// deduplicates against in-flight jobs and the result cache exactly like
+// an individual POST /v1/jobs), a journaled manifest before the response
+// leaves, and the children enqueued in grid order. The returned status
+// is 200 for an existing (or instantly cache-complete) sweep, 202 when
+// any child was freshly queued.
+func (s *Server) submitSweep(spec SweepSpec, children []sweepChild, key string, deadline time.Time) (sw *sweep, status, retryAfter int, err error) {
+	id := jobID(key)
+	s.mu.Lock()
+	if existing, ok := s.sweeps[id]; ok {
+		state := aggregateState(existing.counts())
+		if state != StateFailed && state != StateCanceled {
+			// Single-flight dedup: the same grid is the same sweep, and a
+			// duplicate submission must reuse its children (and through
+			// them every cached child result) rather than re-running.
+			s.reg.AddUint("server/sweep_dedup_hits", 1)
+			s.mu.Unlock()
+			return existing, http.StatusOK, 0, nil
+		}
+		// failed/canceled: fall through and replace with a fresh attempt,
+		// mirroring individual-job resubmission semantics.
+		delete(s.sweeps, id)
+	}
+	if s.draining {
+		defer s.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, s.drainRetryAfterLocked(),
+			errors.New("server is draining; not accepting new sweeps")
+	}
+	if wait := s.estimatedWait(s.queue.len()); s.cfg.ShedLatency > 0 && wait > s.cfg.ShedLatency {
+		s.reg.AddUint("server/shed_rejected", 1)
+		s.mu.Unlock()
+		return nil, http.StatusServiceUnavailable, retryAfterSeconds(wait),
+			fmt.Errorf("estimated queue wait %s exceeds the %s shed bound; retry later",
+				wait.Round(time.Millisecond), s.cfg.ShedLatency)
+	}
+	// The depth bound gates sweep admission as a whole: a sweep needs a
+	// free slot to start, and once admitted its children enqueue
+	// atomically — transiently past QueueDepth, which subsequent single
+	// submissions then see as a full queue. Batch work is admitted
+	// all-or-nothing; it is never half-queued.
+	if s.queue.len() >= s.cfg.QueueDepth {
+		s.reg.AddUint("server/queue_rejected", 1)
+		s.mu.Unlock()
+		return nil, http.StatusTooManyRequests, 1,
+			fmt.Errorf("admission queue full (%d queued); retry later", s.cfg.QueueDepth)
+	}
+	s.reg.AddUint("server/sweeps_submitted", 1)
+
+	sw = &sweep{
+		id: id, key: key, spec: spec, created: time.Now(),
+		childIDs: map[string]bool{}, seq: 1,
+	}
+	fresh := 0
+	for _, c := range children {
+		j, isNew := s.admitChildLocked(c, deadline)
+		if isNew {
+			fresh++
+		} else {
+			s.reg.AddUint("server/sweep_child_dedup", 1)
+		}
+		sw.children = append(sw.children, j)
+		sw.childIDs[j.id] = true
+	}
+	s.reg.AddUint("server/sweep_children", uint64(len(children)))
+	s.sweeps[id] = sw
+	s.reg.SetMax("server/queue_high_water", float64(s.queue.len()))
+
+	// Durability point: the manifest is journaled before the response,
+	// so a crash from here on replays the sweep — with these exact child
+	// ids — instead of losing the batch.
+	sw.mu.Lock()
+	rec := sw.recordLocked(SweepStateActive)
+	seq := sw.seq
+	sw.mu.Unlock()
+	s.journal.recordSweep(rec, seq)
+	s.mu.Unlock()
+
+	status = http.StatusAccepted
+	if fresh == 0 && !sw.counts().pending() {
+		// Every grid point was already answered (dedup or cache): the
+		// sweep is born terminal.
+		status = http.StatusOK
+	}
+	s.maybeFinishSweep(sw)
+	return sw, status, 0, nil
+}
+
+// admitChildLocked admits one sweep child through the same machinery an
+// individual submission uses: reuse an in-flight or completed job with
+// the same canonical key, serve the on-disk result cache, or journal and
+// enqueue a fresh job. isNew reports whether a fresh job was queued.
+// Callers hold s.mu.
+func (s *Server) admitChildLocked(c sweepChild, deadline time.Time) (j *job, isNew bool) {
+	if existing, ok := s.jobs[c.id]; ok {
+		existing.mu.Lock()
+		state := existing.state
+		existing.mu.Unlock()
+		switch state {
+		case StateQueued, StateRunning, StateDone:
+			s.reg.AddUint("server/dedup_hits", 1)
+			if state == StateDone {
+				s.reg.AddUint("server/cache_hits", 1)
+			}
+			return existing, false
+		}
+		delete(s.jobs, c.id) // failed/canceled: fresh attempt below
+	}
+	j = &job{id: c.id, key: c.key, spec: c.spec, cfg: c.cfg, deadline: deadline,
+		state: StateQueued, created: time.Now(), seq: 1, done: make(chan struct{})}
+	if text, ok := s.cachedText(c.key); ok {
+		j.state = StateDone
+		j.cached = true
+		j.text = text
+		j.finished = time.Now()
+		close(j.done)
+		s.insertLocked(j)
+		s.reg.AddUint("server/cache_hits", 1)
+		return j, false
+	}
+	s.reg.AddUint("server/cache_misses", 1)
+	s.reg.AddUint("server/jobs_submitted", 1)
+	s.insertLocked(j)
+	s.journal.record(j)
+	s.queue.push(j)
+	return j, true
+}
+
+// noteChildTerminal runs after any job reaches a terminal state: every
+// sweep containing it re-aggregates, and a sweep whose last child just
+// settled journals its terminal manifest.
+func (s *Server) noteChildTerminal(j *job) {
+	s.mu.Lock()
+	var owners []*sweep
+	for _, sw := range s.sweeps {
+		if sw.contains(j.id) {
+			owners = append(owners, sw)
+		}
+	}
+	s.mu.Unlock()
+	for _, sw := range owners {
+		s.maybeFinishSweep(sw)
+	}
+}
+
+// maybeFinishSweep journals the terminal manifest exactly once when
+// every child has settled.
+func (s *Server) maybeFinishSweep(sw *sweep) {
+	state := aggregateState(sw.counts())
+	if !terminalState(state) {
+		return
+	}
+	sw.mu.Lock()
+	if sw.finalState != "" {
+		sw.mu.Unlock()
+		return
+	}
+	sw.finalState = state
+	sw.seq++
+	rec := sw.recordLocked(state)
+	seq := sw.seq
+	sw.mu.Unlock()
+	s.journal.recordSweep(rec, seq)
+	switch state {
+	case StateDone:
+		s.reg.AddUint("server/sweeps_completed", 1)
+	case StateFailed:
+		s.reg.AddUint("server/sweeps_failed", 1)
+	case StateCanceled:
+		s.reg.AddUint("server/sweeps_canceled", 1)
+	}
+	s.log.Info("sweep finish", "sweep", sw.id, "state", state, "children", len(sw.children))
+}
+
+// recoverSweeps rebuilds journaled sweep manifests after a crash: the
+// spec re-expands to the same ordered grid, each child reattaches to its
+// recovered job (replayed moments earlier under its original id), or is
+// completed from the result cache, or — for the narrow crash window
+// where a child's own journal record never landed — is re-admitted
+// fresh under the same deterministic id. Returns journal keys to GC
+// (none today: a recovered manifest overwrites its own key).
+func (s *Server) recoverSweeps(recs []sweepRecord) (gcKeys []string) {
+	for _, rec := range recs {
+		children, key, err := rec.Spec.Expand()
+		if err != nil { // replay() pre-checked; defensive
+			gcKeys = append(gcKeys, rec.Key)
+			continue
+		}
+		sw := &sweep{
+			id: jobID(key), key: key, spec: rec.Spec, created: rec.Created,
+			childIDs:  map[string]bool{},
+			recovered: rec.Recovered + 1,
+			seq:       1,
+		}
+		s.mu.Lock()
+		for _, c := range children {
+			j, isNew := s.admitChildLocked(c, time.Time{})
+			if isNew {
+				s.log.Info("journal: re-admitted lost sweep child", "sweep", sw.id, "job", j.id)
+			}
+			sw.children = append(sw.children, j)
+			sw.childIDs[j.id] = true
+		}
+		s.sweeps[sw.id] = sw
+		s.mu.Unlock()
+
+		sw.mu.Lock()
+		manifest := sw.recordLocked(SweepStateActive)
+		seq := sw.seq
+		sw.mu.Unlock()
+		s.journal.recordSweep(manifest, seq)
+		s.reg.AddUint("server/sweeps_recovered", 1)
+		s.log.Info("journal: recovered sweep", "sweep", sw.id,
+			"children", len(sw.children), "generation", sw.recovered)
+		s.maybeFinishSweep(sw)
+	}
+	return gcKeys
+}
+
+func (s *Server) sweepFor(r *http.Request) (*sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[r.PathValue("id")]
+	return sw, ok
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sweeps := make([]*sweep, 0, len(s.sweeps))
+	for _, sw := range s.sweeps {
+		sweeps = append(sweeps, sw)
+	}
+	s.mu.Unlock()
+	views := make([]sweepView, 0, len(sweeps))
+	for _, sw := range sweeps {
+		views = append(views, sw.view())
+	}
+	// Stable order: newest first, id as tie-break (same rule as jobs).
+	for i := 1; i < len(views); i++ {
+		for k := i; k > 0 && sweepViewLess(views[k], views[k-1]); k-- {
+			views[k], views[k-1] = views[k-1], views[k]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": views})
+}
+
+func sweepViewLess(a, b sweepView) bool {
+	if a.Created != b.Created {
+		return a.Created > b.Created
+	}
+	return a.ID < b.ID
+}
+
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepFor(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	v := sw.view()
+	if !terminalState(v.State) {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.sweepRetryAfter(sw)))
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// sweepRetryAfter hints when a sweep poller should come back: the sweep
+// finishes with its deepest queued child, so that child's queue position
+// governs — position-aware, like single-job polling. With nothing queued
+// (children running or terminal) the hint is the 1-second floor.
+func (s *Server) sweepRetryAfter(sw *sweep) int {
+	deepest := -1
+	for _, j := range sw.children {
+		if pos := s.queue.position(j.id); pos > deepest {
+			deepest = pos
+		}
+	}
+	if deepest < 0 {
+		return 1
+	}
+	return retryAfterSeconds(s.estimatedWait(deepest + 1))
+}
+
+// handleSweepResult serves the combined report: every child's rendered
+// text concatenated in grid order. Each child's bytes came through
+// cli.RenderReports (the same formatter the CLI uses), so the combined
+// document is byte-identical to running the equivalent charonsim
+// invocations locally and concatenating their reports.
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	sw, ok := s.sweepFor(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	c := sw.counts()
+	if c.pending() {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.sweepRetryAfter(sw)))
+		writeJSON(w, http.StatusAccepted, sw.view())
+		return
+	}
+	if c.failed > 0 || c.canceled > 0 {
+		for _, j := range sw.children {
+			state, _, errMsg := j.snapshot()
+			j.markFetched()
+			if state == StateFailed {
+				writeError(w, http.StatusInternalServerError,
+					"sweep failed: child %s (%s): %s", j.id, j.spec.Experiment, errMsg)
+				return
+			}
+			if state == StateCanceled {
+				writeError(w, http.StatusGone,
+					"sweep child %s (%s) was canceled: %s", j.id, j.spec.Experiment, errMsg)
+				return
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, j := range sw.children {
+		_, text, _ := j.snapshot()
+		j.markFetched()
+		io.WriteString(w, text)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+#!/usr/bin/env bash
+# sweep_smoke.sh — end-to-end crash-recovery check for the charond sweep
+# API, usable locally and as the CI sweep-smoke job:
+#
+#   1. boot charond with a cache directory and submit a two-experiment
+#      sweep (POST /v1/sweeps), capturing the expanded child job ids,
+#   2. kill -9 the server mid-sweep, once at least one simulation unit
+#      has been checkpointed (so recovery resumes partial work),
+#   3. restart charond over the same cache directory and assert the
+#      sweep reappears from its journaled manifest — same sweep id, same
+#      child ids, no resubmission — and runs to completion,
+#   4. assert the combined report is byte-identical to the equivalent
+#      charonsim CLI runs concatenated in grid order,
+#   5. resubmit the same grid through `charonctl sweep -wait` and assert
+#      it deduplicates onto the finished sweep (no re-execution) and
+#      prints the same bytes,
+#   6. SIGTERM the server and assert a clean drain.
+#
+# Any divergence — a lost sweep, a changed child id, a byte of report
+# drift — fails the script. On failure the journal directory is left in
+# $CHAOS_ARTIFACT_DIR (when set) for post-mortem.
+set -u -o pipefail
+
+EXPS=${EXPS:-"fig2 fig12"}
+WORKLOADS=${WORKLOADS:-BS}
+GO=${GO:-go}
+WORK=$(mktemp -d)
+CHAROND_PID=""
+
+preserve_artifacts() {
+    if [ -n "${CHAOS_ARTIFACT_DIR:-}" ] && [ -d "$WORK/cache/journal" ]; then
+        mkdir -p "$CHAOS_ARTIFACT_DIR"
+        cp -r "$WORK/cache/journal" "$CHAOS_ARTIFACT_DIR/" 2>/dev/null
+        cp "$WORK"/charond*.err "$CHAOS_ARTIFACT_DIR/" 2>/dev/null
+    fi
+}
+fail() {
+    echo "FAIL: $*"
+    preserve_artifacts
+    exit 1
+}
+cleanup() {
+    [ -n "$CHAROND_PID" ] && kill -9 "$CHAROND_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+boot() { # boot <outfile> <errfile>; sets CHAROND_PID and BASE
+    "$WORK/charond" -addr 127.0.0.1:0 -workers 1 -queue 8 \
+        -cache-dir "$WORK/cache" >"$1" 2>"$2" &
+    CHAROND_PID=$!
+    BASE=""
+    for _ in $(seq 1 200); do
+        BASE=$(sed -n 's/^charond listening on //p' "$1" | head -n1)
+        [ -n "$BASE" ] && break
+        if ! kill -0 "$CHAROND_PID" 2>/dev/null; then
+            cat "$2"
+            fail "charond exited before listening"
+        fi
+        sleep 0.05
+    done
+    [ -n "$BASE" ] || fail "charond never announced its address"
+}
+
+echo "== building charonsim + charond + charonctl =="
+$GO build -o "$WORK/charonsim" ./cmd/charonsim || exit 1
+$GO build -o "$WORK/charond" ./cmd/charond || exit 1
+$GO build -o "$WORK/charonctl" ./cmd/charonctl || exit 1
+
+EXP_JSON=$(printf '%s\n' $EXPS | sed 's/.*/"&"/' | paste -sd, -)
+EXP_CSV=$(printf '%s\n' $EXPS | paste -sd, -)
+BODY=$(printf '{"experiments":[%s],"workloads":["%s"]}' "$EXP_JSON" "$WORKLOADS")
+
+echo "== phase 1: boot and submit sweep =="
+boot "$WORK/charond1.out" "$WORK/charond1.err"
+echo "charond (pid $CHAROND_PID) at $BASE"
+curl -fsS -d "$BODY" "$BASE/v1/sweeps" >"$WORK/sweep1.json" || fail "sweep submission failed"
+SWEEP_ID=$(jq -r .id "$WORK/sweep1.json")
+[ -n "$SWEEP_ID" ] && [ "$SWEEP_ID" != "null" ] || fail "submission returned no sweep id"
+jq -r '.children[].id' "$WORK/sweep1.json" >"$WORK/children.before"
+N_CHILDREN=$(wc -l <"$WORK/children.before")
+[ "$N_CHILDREN" -ge 2 ] || fail "sweep expanded to $N_CHILDREN children, want >= 2"
+echo "sweep $SWEEP_ID submitted ($N_CHILDREN children)"
+
+# The 202 contract: the sweep manifest and every fresh child are
+# journaled before the response (manifest + N child records).
+J=$(ls "$WORK"/cache/journal/*.ckpt.json 2>/dev/null | wc -l)
+[ "$J" -ge $((N_CHILDREN + 1)) ] || fail "journal holds $J records after the 202, want >= $((N_CHILDREN + 1))"
+
+echo "== phase 2: kill -9 mid-sweep =="
+for _ in $(seq 1 1200); do
+    if compgen -G "$WORK/cache/units/*.ckpt.json" >/dev/null 2>&1; then
+        break
+    fi
+    kill -0 "$CHAROND_PID" 2>/dev/null || fail "charond died before checkpointing a unit"
+    sleep 0.05
+done
+compgen -G "$WORK/cache/units/*.ckpt.json" >/dev/null 2>&1 \
+    || fail "no unit checkpoint appeared; cannot exercise mid-sweep recovery"
+kill -9 "$CHAROND_PID"
+wait "$CHAROND_PID" 2>/dev/null
+CHAROND_PID=""
+echo "killed -9 mid-sweep"
+
+echo "== phase 3: restart and recover the sweep =="
+boot "$WORK/charond2.out" "$WORK/charond2.err"
+echo "charond restarted (pid $CHAROND_PID) at $BASE"
+CODE=$(curl -s -o "$WORK/sweep2.json" -w '%{http_code}' "$BASE/v1/sweeps/$SWEEP_ID")
+[ "$CODE" = "200" ] || { cat "$WORK/charond2.err"; fail "recovered sweep GET = $CODE, want 200"; }
+REC=$(jq -r '.recovered // 0' "$WORK/sweep2.json")
+[ "$REC" -ge 1 ] || fail "sweep not marked as crash-recovered (recovered=$REC)"
+jq -r '.children[].id' "$WORK/sweep2.json" >"$WORK/children.after"
+diff "$WORK/children.before" "$WORK/children.after" \
+    || fail "child job ids changed across the crash"
+echo "sweep recovered with its original $N_CHILDREN child ids"
+
+STATE=""
+for _ in $(seq 1 2400); do
+    STATE=$(curl -fsS "$BASE/v1/sweeps/$SWEEP_ID" | jq -r .state)
+    case "$STATE" in
+        done) break ;;
+        failed|canceled)
+            curl -fsS "$BASE/v1/sweeps/$SWEEP_ID" | jq .
+            fail "recovered sweep ended $STATE" ;;
+    esac
+    sleep 0.25
+done
+[ "$STATE" = "done" ] || fail "recovered sweep never completed (state $STATE)"
+curl -fsS "$BASE/v1/sweeps/$SWEEP_ID/result" >"$WORK/served.out" || fail "sweep result fetch failed"
+RECOVERED=$(curl -fsS "$BASE/v1/metrics" | jq -r '.counters["server/sweeps_recovered"] // 0')
+[ "${RECOVERED%.*}" -ge 1 ] || fail "/v1/metrics reports no sweep recovery"
+
+echo "== phase 4: byte-identity against the CLI, in grid order =="
+: >"$WORK/cli.concat"
+for EXP in $EXPS; do
+    if ! "$WORK/charonsim" -exp "$EXP" -workloads "$WORKLOADS" >"$WORK/cli.out" 2>"$WORK/cli.err"; then
+        cat "$WORK/cli.err"
+        fail "CLI run $EXP failed"
+    fi
+    grep -v '^([0-9]* experiment(s) in ' "$WORK/cli.out" >>"$WORK/cli.concat"
+done
+if ! diff "$WORK/served.out" "$WORK/cli.concat"; then
+    fail "combined sweep report diverged from the concatenated CLI output"
+fi
+echo "combined report is byte-identical to the CLI runs"
+
+echo "== phase 5: duplicate sweep dedups through charonctl =="
+RUNS_BEFORE=$(curl -fsS "$BASE/v1/metrics" | jq -r '.counters["server/jobs_completed"] // 0')
+if ! "$WORK/charonctl" -server "$BASE" sweep -experiments "$EXP_CSV" -workloads "$WORKLOADS" -wait >"$WORK/ctl.out" 2>"$WORK/ctl.err"; then
+    cat "$WORK/ctl.err"
+    fail "charonctl sweep -wait failed"
+fi
+diff "$WORK/served.out" "$WORK/ctl.out" \
+    || fail "charonctl sweep bytes diverged from the served result"
+RUNS_AFTER=$(curl -fsS "$BASE/v1/metrics" | jq -r '.counters["server/jobs_completed"] // 0')
+[ "${RUNS_AFTER%.*}" -eq "${RUNS_BEFORE%.*}" ] \
+    || fail "duplicate sweep re-executed children (jobs_completed $RUNS_BEFORE -> $RUNS_AFTER)"
+echo "duplicate submission reused every child result (no re-execution)"
+
+echo "== phase 6: SIGTERM drain =="
+kill -TERM "$CHAROND_PID"
+wait "$CHAROND_PID"
+CODE=$?
+CHAROND_PID=""
+if [ "$CODE" -ne 0 ]; then
+    cat "$WORK/charond2.err"
+    fail "drain exited $CODE, want 0"
+fi
+echo "PASS: sweep smoke complete (kill -9 recovered, ids stable, byte-identical, dedup clean)"
